@@ -1,0 +1,28 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one paper table/figure through the experiment
+modules and prints the same rows/series the paper reports (run with ``-s``
+to see them).  The in-process scenario cache in
+:mod:`repro.experiments.runner` is shared across benchmarks, so the suite
+simulates each (scene, variant) pair exactly once.
+
+``REPRO_SCENES`` (comma-separated) restricts the evaluated scenes, e.g.
+``REPRO_SCENES=lego,palace pytest benchmarks/`` for a quick pass.
+"""
+
+import os
+
+import pytest
+
+
+def selected_scenes(default=None):
+    """Scene list from $REPRO_SCENES, or ``default`` (None = all six)."""
+    env = os.environ.get("REPRO_SCENES")
+    if env:
+        return [s.strip() for s in env.split(",") if s.strip()]
+    return default
+
+
+@pytest.fixture(scope="session")
+def scenes():
+    return selected_scenes()

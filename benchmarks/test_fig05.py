@@ -1,0 +1,21 @@
+"""Figure 5 bench: CUDA vs OpenGL rendering breakdown on two devices."""
+
+from repro.experiments import fig05_sw_vs_hw
+from repro.experiments.runner import format_table
+
+
+def test_fig05(benchmark, scenes):
+    data = benchmark.pedantic(
+        fig05_sw_vs_hw.run, kwargs={"scenes": scenes}, rounds=1, iterations=1)
+    for device, per_scene in data.items():
+        for scene, d in per_scene.items():
+            # Hardware-path preprocessing/sorting avoid duplication.
+            assert d["opengl"]["preprocess"] < d["cuda"]["preprocess"]
+            assert d["opengl"]["sort"] < d["cuda"]["sort"]
+            # Rasterisation dominates the hardware path (paper: > 70%).
+            assert d["opengl"]["rasterize"] / d["opengl_total"] > 0.7
+        rows = [[s, d["cuda_total"], d["opengl_total"]]
+                for s, d in per_scene.items()]
+        print()
+        print(format_table(["Scene", "CUDA total (ms)", "OpenGL total (ms)"],
+                           rows, title=f"Figure 5 ({device}) totals"))

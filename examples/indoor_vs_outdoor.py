@@ -1,0 +1,57 @@
+"""Scene-structure study: why outdoor captures gain more from VR-Pipe.
+
+Reproduces the paper's cross-scene observation (Sections VI-B and VII-B) on
+two Table II workloads: an outdoor scene (Train — deep stacked structure
+with many Gaussians "beyond the surface") and an indoor one (Bonsai — a
+central object inside a room shell).  For each, the script sweeps orbit
+viewpoints, reports the early-termination ratio, and runs the HET+QM
+pipeline to show the speedup tracks the ratio.
+
+Run:  python examples/indoor_vs_outdoor.py
+"""
+
+from repro.core import run_variant
+from repro.gaussians.preprocess import preprocess
+from repro.render.splat_raster import rasterize_splats
+from repro.workloads import build_scene, get_profile, scene_viewpoints
+
+
+def analyse(scene_name, n_views=5):
+    profile = get_profile(scene_name)
+    cloud = build_scene(profile)
+    print(f"\n=== {scene_name} ({profile.scene_type}; "
+          f"{len(cloud):,} Gaussians at {profile.width}x{profile.height}) ===")
+    print(f"{'view':>4} {'ET ratio':>9} {'base cycles':>12} "
+          f"{'het+qm':>10} {'speedup':>8}")
+    ratios = []
+    speedups = []
+    for k, camera in enumerate(scene_viewpoints(profile, n_views)):
+        pre = preprocess(cloud, camera)
+        stream = rasterize_splats(pre.splats, camera.width, camera.height)
+        ratio = stream.termination_ratio()
+        base = run_variant(stream, "baseline")
+        vrp = run_variant(stream, "het+qm")
+        speedup = base.cycles / vrp.cycles
+        ratios.append(ratio)
+        speedups.append(speedup)
+        print(f"{k:>4} {ratio:>9.2f} {base.cycles:>12,.0f} "
+              f"{vrp.cycles:>10,.0f} {speedup:>8.2f}")
+    mean_ratio = sum(ratios) / len(ratios)
+    mean_speedup = sum(speedups) / len(speedups)
+    print(f"mean: ET ratio {mean_ratio:.2f}, speedup {mean_speedup:.2f}x")
+    return mean_ratio, mean_speedup
+
+
+def main():
+    outdoor = analyse("train")
+    indoor = analyse("bonsai")
+    print("\n=== summary ===")
+    print(f"train  (outdoor): ratio {outdoor[0]:.2f} -> {outdoor[1]:.2f}x")
+    print(f"bonsai (indoor) : ratio {indoor[0]:.2f} -> {indoor[1]:.2f}x")
+    if outdoor[1] > indoor[1]:
+        print("outdoor structure converts to larger VR-Pipe gains, "
+              "as in the paper.")
+
+
+if __name__ == "__main__":
+    main()

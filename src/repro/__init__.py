@@ -1,0 +1,47 @@
+"""VR-Pipe reproduction: streamlining the hardware graphics pipeline for
+volume rendering (HPCA 2025).
+
+Top-level convenience re-exports; see the subpackages for the full API:
+
+* :mod:`repro.gaussians` — 3D Gaussian splatting substrate.
+* :mod:`repro.render` — shared functional rendering core.
+* :mod:`repro.hwmodel` — cycle-approximate graphics-pipeline simulator.
+* :mod:`repro.core` — the VR-Pipe contribution (HET, QM, variants).
+* :mod:`repro.swrender` / :mod:`repro.swopt` — software baselines.
+* :mod:`repro.accel` — GSCore comparator.
+* :mod:`repro.micro` — fixed-function microbenchmarks.
+* :mod:`repro.workloads` / :mod:`repro.experiments` — evaluation.
+"""
+
+from repro.core import (
+    HardwareRenderer,
+    hardware_cost_bytes,
+    run_all_variants,
+    run_variant,
+    speedups_over_baseline,
+    variant_config,
+)
+from repro.gaussians import Camera, GaussianCloud
+from repro.hwmodel import GPUConfig, GraphicsPipeline, jetson_agx_orin
+from repro.render import FragmentStream, render_reference
+from repro.swrender import CudaRenderer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Camera",
+    "CudaRenderer",
+    "FragmentStream",
+    "GaussianCloud",
+    "GPUConfig",
+    "GraphicsPipeline",
+    "HardwareRenderer",
+    "hardware_cost_bytes",
+    "jetson_agx_orin",
+    "render_reference",
+    "run_all_variants",
+    "run_variant",
+    "speedups_over_baseline",
+    "variant_config",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Comparator accelerators (Figure 22)."""
+
+from repro.accel.gscore import GSCoreConfig, GSCoreModel
+
+__all__ = ["GSCoreConfig", "GSCoreModel"]

@@ -1,0 +1,143 @@
+"""Command-line interface: render scenes, simulate variants, run experiments.
+
+Usage::
+
+    python -m repro render  --scene train --out train.ppm
+    python -m repro simulate --scene truck [--variant het+qm] [--all]
+    python -m repro experiment fig16
+    python -m repro list-scenes
+
+The CLI wraps the library's main entry points so the reproduction can be
+driven without writing Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+
+from repro.core.vrpipe import VARIANTS, run_all_variants, run_variant
+from repro.gaussians.preprocess import preprocess
+from repro.hwmodel.report import compare_variants, draw_report
+from repro.render.image_io import write_ppm
+from repro.render.splat_raster import rasterize_splats
+from repro.workloads.catalog import (
+    LARGE_SCALE_SCENES,
+    SCENES,
+    build_scene,
+    get_profile,
+)
+
+_EXPERIMENTS = (
+    "fig01", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11",
+    "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23",
+    "tables", "ablations", "all",
+)
+
+_EXPERIMENT_MODULES = {
+    "fig01": "fig01_unit_counts", "fig05": "fig05_sw_vs_hw",
+    "fig06": "fig06_utilization", "fig07": "fig07_frags_per_pixel",
+    "fig08": "fig08_cuda_early_term", "fig09": "fig09_warp_occupancy",
+    "fig10": "fig10_inshader", "fig11": "fig11_multipass",
+    "fig16": "fig16_speedup", "fig17": "fig17_end_to_end",
+    "fig18": "fig18_reduction", "fig19": "fig19_energy",
+    "fig20": "fig20_microbench", "fig21": "fig21_et_ratio",
+    "fig22": "fig22_gscore", "fig23": "fig23_large_scale",
+    "tables": "tables", "ablations": "ablations", "all": "run_all",
+}
+
+
+def _build_stream(scene_name, seed):
+    profile = get_profile(scene_name)
+    cloud = build_scene(profile, seed=seed)
+    camera = profile.camera()
+    pre = preprocess(cloud, camera)
+    stream = rasterize_splats(pre.splats, camera.width, camera.height)
+    return profile, stream
+
+
+def cmd_list_scenes(_args):
+    print(f"{'scene':>9} {'type':>10} {'dataset':>15} {'repro size':>12} "
+          f"{'#gaussians':>11}")
+    for name, p in {**SCENES, **LARGE_SCALE_SCENES}.items():
+        print(f"{name:>9} {p.scene_type:>10} {p.dataset:>15} "
+              f"{p.width}x{p.height:<7} {p.n_gaussians:>11,}")
+    return 0
+
+
+def cmd_render(args):
+    profile, stream = _build_stream(args.scene, args.seed)
+    image, alpha = stream.blend_image(early_term=args.early_term)
+    out = args.out or f"{profile.name}.ppm"
+    write_ppm(out, image)
+    print(f"rendered {profile.name} ({profile.width}x{profile.height}, "
+          f"{len(stream):,} fragments) -> {out}")
+    print(f"early-termination ratio: {stream.termination_ratio():.2f}")
+    return 0
+
+
+def cmd_simulate(args):
+    _profile, stream = _build_stream(args.scene, args.seed)
+    if args.all:
+        results = run_all_variants(stream)
+        print(compare_variants(results))
+        return 0
+    result = run_variant(stream, args.variant)
+    print(draw_report(result, title=f"{args.scene} / {args.variant}"))
+    return 0
+
+
+def cmd_experiment(args):
+    module_name = _EXPERIMENT_MODULES[args.name]
+    module = importlib.import_module(f"repro.experiments.{module_name}")
+    module.main()
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="VR-Pipe reproduction command-line interface")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-scenes", help="list evaluation workloads")
+
+    render = sub.add_parser("render", help="render a scene to a PPM image")
+    render.add_argument("--scene", required=True,
+                        choices=sorted({**SCENES, **LARGE_SCALE_SCENES}))
+    render.add_argument("--out", default=None, help="output .ppm path")
+    render.add_argument("--seed", type=int, default=0)
+    render.add_argument("--early-term", action="store_true",
+                        help="apply early termination while blending")
+
+    simulate = sub.add_parser(
+        "simulate", help="simulate a draw call on the hardware model")
+    simulate.add_argument("--scene", required=True,
+                          choices=sorted({**SCENES, **LARGE_SCALE_SCENES}))
+    simulate.add_argument("--variant", default="het+qm",
+                          choices=sorted(VARIANTS))
+    simulate.add_argument("--all", action="store_true",
+                          help="run and compare all four variants")
+    simulate.add_argument("--seed", type=int, default=0)
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a paper table/figure")
+    experiment.add_argument("name", choices=_EXPERIMENTS)
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "list-scenes": cmd_list_scenes,
+        "render": cmd_render,
+        "simulate": cmd_simulate,
+        "experiment": cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

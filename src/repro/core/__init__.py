@@ -1,0 +1,44 @@
+"""VR-Pipe: the paper's contribution as a public API.
+
+* :mod:`repro.core.het` — hardware early termination: the stencil-MSB
+  repurposing, the alpha test unit, and the termination test/update units
+  (Figure 13), as functionally testable components.
+* :mod:`repro.core.quad_merge` — quad merging via warp shuffle and partial
+  front-to-back blending (Figures 14/15).
+* :mod:`repro.core.vrpipe` — variant configs (Baseline / QM / HET / HET+QM),
+  the end-to-end hardware renderer, and the Table III cost accounting.
+"""
+
+from repro.core.het import (
+    AlphaTestUnit,
+    TerminationStencil,
+    blend_with_het,
+)
+from repro.core.quad_merge import (
+    merge_quad_pair,
+    merge_flush_batch,
+)
+from repro.core.vrpipe import (
+    VARIANTS,
+    HardwareRenderer,
+    hardware_cost_bytes,
+    run_all_variants,
+    run_variant,
+    speedups_over_baseline,
+    variant_config,
+)
+
+__all__ = [
+    "AlphaTestUnit",
+    "TerminationStencil",
+    "blend_with_het",
+    "merge_quad_pair",
+    "merge_flush_batch",
+    "VARIANTS",
+    "HardwareRenderer",
+    "hardware_cost_bytes",
+    "run_all_variants",
+    "run_variant",
+    "speedups_over_baseline",
+    "variant_config",
+]

@@ -1,0 +1,66 @@
+"""Figure 5: CUDA (software) vs OpenGL (hardware) rendering, two devices.
+
+Per scene and device, the three-kernel breakdown (preprocess / Gaussian
+sort / rasterise) for both paths.  The paper's findings to reproduce:
+hardware rendering is generally comparable-or-faster end to end because it
+avoids per-tile duplication in preprocessing/sorting, and rasterisation
+dominates the hardware path's time.
+"""
+
+from __future__ import annotations
+
+from repro.core.vrpipe import HardwareRenderer, variant_config
+from repro.experiments.runner import (
+    format_table,
+    get_scenario,
+    make_cuda_renderer,
+    make_device,
+)
+from repro.swrender.renderer import SWKernelModel
+from repro.workloads.catalog import scene_names
+
+
+def run(scenes=None, devices=("orin", "rtx3090")):
+    """Breakdowns in ms: ``{device: {scene: {"cuda": {...}, "opengl": {...}}}}``."""
+    scenes = list(scenes) if scenes is not None else scene_names()
+    out = {}
+    for device_name in devices:
+        device = make_device(device_name)
+        kernel = SWKernelModel(
+            issue_slots=float(device.sm_issue_slots_per_cycle))
+        cuda = make_cuda_renderer(device_name, early_term=True)
+        gl = HardwareRenderer(
+            config=variant_config("baseline", device), kernel_model=kernel)
+        per_scene = {}
+        for name in scenes:
+            scenario = get_scenario(name)
+            sw = cuda.render_stream(scenario.stream, scenario.pre)
+            hw = gl.render_stream(scenario.stream, scenario.pre)
+            per_scene[name] = {
+                "cuda": sw.timing.breakdown_ms(),
+                "cuda_total": sw.timing.total_ms(),
+                "opengl": hw.breakdown_ms(),
+                "opengl_total": hw.total_ms(),
+            }
+        out[device_name] = per_scene
+    return out
+
+
+def main():
+    data = run()
+    for device, per_scene in data.items():
+        rows = []
+        for name, d in per_scene.items():
+            for path in ("cuda", "opengl"):
+                b = d[path]
+                rows.append([name, path.upper(), b["preprocess"], b["sort"],
+                             b["rasterize"], d[f"{path}_total"]])
+        print(format_table(
+            ["Scene", "Path", "Preprocess (ms)", "Sort (ms)",
+             "Rasterize (ms)", "Total (ms)"],
+            rows, title=f"Figure 5 ({device}): SW vs HW rendering breakdown"))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Figure 10: in-shader blending vs ROP-based blending (log scale).
+
+The interlock-guarded path must land several times slower than ROP
+blending; the unguarded (incorrect) path lands close to or below it —
+demonstrating the cost is the lock, not the raster operations.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import format_table, get_scenario, make_device
+from repro.swopt.inshader import inshader_comparison
+from repro.workloads.catalog import scene_names
+
+
+def run(scenes=None, device_name="orin"):
+    """``{scene: {"rop": 1.0, "interlock": x, "no_interlock": y}}``."""
+    scenes = list(scenes) if scenes is not None else scene_names()
+    device = make_device(device_name)
+    out = {}
+    for name in scenes:
+        scenario = get_scenario(name)
+        cmp = inshader_comparison(scenario.stream, device)
+        out[name] = {
+            "rop": 1.0,
+            "interlock": cmp["interlock_normalized"],
+            "no_interlock": cmp["no_interlock_normalized"],
+        }
+    return out
+
+
+def main():
+    data = run()
+    rows = [[name, d["rop"], d["interlock"], d["no_interlock"]]
+            for name, d in data.items()]
+    print(format_table(
+        ["Scene", "ROP-based", "In-shader w/ ext", "In-shader w/o ext"],
+        rows, title="Figure 10: normalized rasterization time"))
+
+
+if __name__ == "__main__":
+    main()

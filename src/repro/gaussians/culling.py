@@ -1,0 +1,63 @@
+"""View-frustum and opacity culling of 3D Gaussians.
+
+Matches the paper's preprocessing step: "we first perform frustum culling to
+exclude invisible Gaussians" (Section III-A).  Culling is conservative —
+a Gaussian survives if any part of its projected footprint could touch the
+screen.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gaussians.camera import Camera
+from repro.gaussians.gaussian import GaussianCloud
+from repro.gaussians.projection import ALPHA_EPS
+
+
+def frustum_cull(cloud, camera, guard_band=1.3):
+    """Return a boolean keep-mask over the cloud's Gaussians.
+
+    A Gaussian is kept when:
+
+    * its centre depth lies in ``(znear, zfar)``;
+    * its opacity is at least ``ALPHA_EPS`` (it could produce a visible
+      fragment at all); and
+    * its projected centre falls within the screen rectangle expanded by a
+      conservative radius estimate (``guard_band`` times the largest world
+      scale, projected at the centre depth).
+
+    Parameters
+    ----------
+    cloud:
+        Gaussians to test.
+    camera:
+        Viewing camera.
+    guard_band:
+        Multiplier on the projected-extent estimate; larger values cull less
+        aggressively.  The default matches the 1.3x guard band used by the
+        3DGS reference implementation.
+    """
+    if not isinstance(cloud, GaussianCloud):
+        raise TypeError(f"cloud must be a GaussianCloud, got {type(cloud).__name__}")
+    if not isinstance(camera, Camera):
+        raise TypeError(f"camera must be a Camera, got {type(camera).__name__}")
+    cam = camera.to_camera_space(cloud.positions)
+    z = cam[:, 2]
+    in_depth = (z > camera.znear) & (z < camera.zfar)
+    visible_alpha = cloud.opacities >= ALPHA_EPS
+
+    safe_z = np.where(in_depth, z, np.inf)
+    u = camera.fx * cam[:, 0] / safe_z + camera.cx
+    v = camera.fy * cam[:, 1] / safe_z + camera.cy
+    # Conservative projected radius: the largest 3-sigma world extent scaled
+    # by focal / depth.
+    world_radius = 3.0 * cloud.scales.max(axis=1)
+    pix_radius = guard_band * world_radius * max(camera.fx, camera.fy) / safe_z
+    on_screen = (
+        (u + pix_radius >= 0.0)
+        & (u - pix_radius <= camera.width)
+        & (v + pix_radius >= 0.0)
+        & (v - pix_radius <= camera.height)
+    )
+    return in_depth & visible_alpha & on_screen

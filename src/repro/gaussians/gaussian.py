@@ -1,0 +1,143 @@
+"""Structure-of-arrays container for a 3D Gaussian scene.
+
+Each Gaussian is parameterised the way 3DGS training produces them: a mean
+position, an anisotropic scale vector, a rotation quaternion, an opacity, and
+spherical-harmonic colour coefficients.  The covariance is derived as
+``Sigma = R S S^T R^T`` where ``R`` comes from the quaternion and ``S`` is the
+diagonal scale matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gaussians.sh import num_sh_coeffs
+from repro.utils.validation import check_shape
+
+
+def quaternion_to_rotation(quats):
+    """Convert ``(n, 4)`` quaternions (w, x, y, z) to ``(n, 3, 3)`` rotations.
+
+    Quaternions are normalised internally, matching 3DGS which stores
+    unnormalised quaternions and normalises at covariance build time.
+    """
+    quats = check_shape("quats", np.asarray(quats, dtype=np.float64), (None, 4))
+    norms = np.linalg.norm(quats, axis=1, keepdims=True)
+    if np.any(norms < 1e-12):
+        raise ValueError("quaternions must be non-zero")
+    w, x, y, z = (quats / norms).T
+    rot = np.empty((quats.shape[0], 3, 3), dtype=np.float64)
+    rot[:, 0, 0] = 1 - 2 * (y * y + z * z)
+    rot[:, 0, 1] = 2 * (x * y - w * z)
+    rot[:, 0, 2] = 2 * (x * z + w * y)
+    rot[:, 1, 0] = 2 * (x * y + w * z)
+    rot[:, 1, 1] = 1 - 2 * (x * x + z * z)
+    rot[:, 1, 2] = 2 * (y * z - w * x)
+    rot[:, 2, 0] = 2 * (x * z - w * y)
+    rot[:, 2, 1] = 2 * (y * z + w * x)
+    rot[:, 2, 2] = 1 - 2 * (x * x + y * y)
+    return rot
+
+
+class GaussianCloud:
+    """A set of 3D Gaussians stored as parallel arrays.
+
+    Parameters
+    ----------
+    positions:
+        ``(n, 3)`` Gaussian centres (world space).
+    scales:
+        ``(n, 3)`` per-axis standard deviations (must be positive).
+    quaternions:
+        ``(n, 4)`` rotations as (w, x, y, z); normalised on use.
+    opacities:
+        ``(n,)`` opacity in ``[0, 1]``.
+    sh:
+        ``(n, k, 3)`` spherical-harmonic coefficients where ``k`` is the
+        coefficient count for the cloud's SH degree (1, 4, 9, or 16).
+    """
+
+    def __init__(self, positions, scales, quaternions, opacities, sh):
+        self.positions = check_shape(
+            "positions", np.asarray(positions, dtype=np.float64), (None, 3))
+        n = self.positions.shape[0]
+        self.scales = check_shape(
+            "scales", np.asarray(scales, dtype=np.float64), (n, 3))
+        self.quaternions = check_shape(
+            "quaternions", np.asarray(quaternions, dtype=np.float64), (n, 4))
+        self.opacities = check_shape(
+            "opacities", np.asarray(opacities, dtype=np.float64), (n,))
+        sh = np.asarray(sh, dtype=np.float64)
+        if sh.ndim != 3 or sh.shape[0] != n or sh.shape[2] != 3:
+            raise ValueError(f"sh must have shape (n, k, 3), got {sh.shape}")
+        valid_k = {num_sh_coeffs(d) for d in range(4)}
+        if sh.shape[1] not in valid_k:
+            raise ValueError(
+                f"sh coefficient count {sh.shape[1]} is not one of {sorted(valid_k)}")
+        self.sh = sh
+        if np.any(self.scales <= 0):
+            raise ValueError("scales must be strictly positive")
+        if np.any((self.opacities < 0) | (self.opacities > 1)):
+            raise ValueError("opacities must lie in [0, 1]")
+
+    def __len__(self):
+        return self.positions.shape[0]
+
+    def __repr__(self):
+        return (f"GaussianCloud(n={len(self)}, sh_degree={self.sh_degree}, "
+                f"extent={self.extent():.2f})")
+
+    @property
+    def sh_degree(self):
+        """SH degree implied by the coefficient count."""
+        return int(np.sqrt(self.sh.shape[1])) - 1
+
+    def covariances(self):
+        """Return ``(n, 3, 3)`` world-space covariance matrices."""
+        rot = quaternion_to_rotation(self.quaternions)
+        # R @ diag(s^2) @ R^T, computed without materialising diag matrices.
+        scaled = rot * (self.scales[:, None, :] ** 2)
+        return scaled @ np.transpose(rot, (0, 2, 1))
+
+    def extent(self):
+        """Diagonal of the positions' bounding box; a cheap scene scale."""
+        if len(self) == 0:
+            return 0.0
+        span = self.positions.max(axis=0) - self.positions.min(axis=0)
+        return float(np.linalg.norm(span))
+
+    def subset(self, index):
+        """Return a new cloud containing the Gaussians selected by ``index``."""
+        return GaussianCloud(
+            self.positions[index],
+            self.scales[index],
+            self.quaternions[index],
+            self.opacities[index],
+            self.sh[index],
+        )
+
+    @classmethod
+    def concatenate(cls, clouds):
+        """Concatenate several clouds (all must share the SH degree)."""
+        clouds = list(clouds)
+        if not clouds:
+            raise ValueError("need at least one cloud to concatenate")
+        degrees = {c.sh.shape[1] for c in clouds}
+        if len(degrees) != 1:
+            raise ValueError(f"mismatched SH coefficient counts: {sorted(degrees)}")
+        return cls(
+            np.concatenate([c.positions for c in clouds]),
+            np.concatenate([c.scales for c in clouds]),
+            np.concatenate([c.quaternions for c in clouds]),
+            np.concatenate([c.opacities for c in clouds]),
+            np.concatenate([c.sh for c in clouds]),
+        )
+
+    @classmethod
+    def empty(cls, sh_degree=0):
+        """An empty cloud with the given SH degree."""
+        k = num_sh_coeffs(sh_degree)
+        return cls(
+            np.empty((0, 3)), np.ones((0, 3)), np.tile([1.0, 0, 0, 0], (0, 1)).reshape(0, 4),
+            np.empty(0), np.empty((0, k, 3)),
+        )

@@ -1,0 +1,158 @@
+"""Scene I/O: the 3DGS PLY checkpoint format and a compact NPZ format.
+
+``write_ply``/``read_ply`` speak the de-facto standard layout produced by
+the 3D Gaussian splatting reference trainer (binary little-endian PLY with
+``x y z``, ``f_dc_*``/``f_rest_*`` SH coefficients, ``opacity`` as a logit,
+``scale_*`` as logs, and ``rot_*`` quaternions), so clouds trained elsewhere
+can be loaded and real exports of synthetic scenes can be inspected in
+standard point-cloud tools.  ``write_npz``/``read_npz`` are the fast native
+round-trip.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gaussians.gaussian import GaussianCloud
+from repro.gaussians.sh import num_sh_coeffs
+
+
+def write_npz(path, cloud):
+    """Save a cloud to a compressed NPZ archive."""
+    if not isinstance(cloud, GaussianCloud):
+        raise TypeError(f"cloud must be a GaussianCloud, got {type(cloud).__name__}")
+    np.savez_compressed(
+        path,
+        positions=cloud.positions,
+        scales=cloud.scales,
+        quaternions=cloud.quaternions,
+        opacities=cloud.opacities,
+        sh=cloud.sh,
+    )
+    return path
+
+
+def read_npz(path):
+    """Load a cloud from :func:`write_npz` output."""
+    with np.load(path) as data:
+        return GaussianCloud(
+            positions=data["positions"],
+            scales=data["scales"],
+            quaternions=data["quaternions"],
+            opacities=data["opacities"],
+            sh=data["sh"],
+        )
+
+
+def _ply_property_names(sh_degree):
+    """Per-vertex property names in 3DGS checkpoint order."""
+    names = ["x", "y", "z", "nx", "ny", "nz"]
+    names += [f"f_dc_{i}" for i in range(3)]
+    n_rest = (num_sh_coeffs(sh_degree) - 1) * 3
+    names += [f"f_rest_{i}" for i in range(n_rest)]
+    names += ["opacity"]
+    names += [f"scale_{i}" for i in range(3)]
+    names += [f"rot_{i}" for i in range(4)]
+    return names
+
+
+def _logit(p, eps=1e-7):
+    p = np.clip(p, eps, 1.0 - eps)
+    return np.log(p / (1.0 - p))
+
+
+def _sigmoid(x):
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+def write_ply(path, cloud):
+    """Save a cloud in the 3DGS checkpoint PLY layout (binary LE float32).
+
+    Activations are inverted on write (opacity -> logit, scale -> log), so
+    a round-trip through :func:`read_ply` reproduces the cloud, and files
+    interchange with the reference 3DGS tooling.
+    """
+    if not isinstance(cloud, GaussianCloud):
+        raise TypeError(f"cloud must be a GaussianCloud, got {type(cloud).__name__}")
+    n = len(cloud)
+    degree = cloud.sh_degree
+    names = _ply_property_names(degree)
+
+    columns = [cloud.positions, np.zeros((n, 3))]          # x y z, normals
+    # DC coefficients are stored (n, 3); rest are channel-major:
+    # f_rest_{c * (k-1) + j} = sh[:, 1 + j, c] in the reference layout.
+    columns.append(cloud.sh[:, 0, :])
+    k = cloud.sh.shape[1]
+    if k > 1:
+        rest = np.transpose(cloud.sh[:, 1:, :], (0, 2, 1)).reshape(n, -1)
+        columns.append(rest)
+    columns.append(_logit(cloud.opacities)[:, None])
+    columns.append(np.log(cloud.scales))
+    columns.append(cloud.quaternions)
+    table = np.concatenate(columns, axis=1).astype("<f4")
+    if table.shape[1] != len(names):
+        raise AssertionError(
+            f"internal layout mismatch: {table.shape[1]} vs {len(names)}")
+
+    header_lines = ["ply", "format binary_little_endian 1.0",
+                    f"element vertex {n}"]
+    header_lines += [f"property float {name}" for name in names]
+    header_lines += ["end_header", ""]
+    with open(path, "wb") as handle:
+        handle.write("\n".join(header_lines).encode("ascii"))
+        handle.write(table.tobytes())
+    return path
+
+
+def read_ply(path):
+    """Load a 3DGS checkpoint PLY (as written by :func:`write_ply` or the
+    reference trainer)."""
+    with open(path, "rb") as handle:
+        if handle.readline().strip() != b"ply":
+            raise ValueError(f"not a PLY file: {path}")
+        fmt = handle.readline().strip()
+        if fmt != b"format binary_little_endian 1.0":
+            raise ValueError(f"unsupported PLY format: {fmt.decode()}")
+        n = None
+        names = []
+        while True:
+            line = handle.readline()
+            if not line:
+                raise ValueError("unexpected end of PLY header")
+            line = line.strip()
+            if line.startswith(b"element vertex"):
+                n = int(line.split()[-1])
+            elif line.startswith(b"property float"):
+                names.append(line.split()[-1].decode("ascii"))
+            elif line == b"end_header":
+                break
+        if n is None:
+            raise ValueError("PLY header missing vertex element")
+        data = np.frombuffer(handle.read(n * len(names) * 4),
+                             dtype="<f4").reshape(n, len(names))
+
+    index = {name: i for i, name in enumerate(names)}
+    required = ("x", "f_dc_0", "opacity", "scale_0", "rot_0")
+    for name in required:
+        if name not in index:
+            raise ValueError(f"PLY file missing 3DGS property {name!r}")
+    n_rest = sum(1 for name in names if name.startswith("f_rest_"))
+    if n_rest % 3:
+        raise ValueError(f"f_rest property count {n_rest} is not divisible by 3")
+    k = 1 + n_rest // 3
+    if int(np.sqrt(k)) ** 2 != k:
+        raise ValueError(f"SH coefficient count {k} is not a perfect square")
+
+    positions = data[:, [index["x"], index["y"], index["z"]]].astype(np.float64)
+    sh = np.zeros((n, k, 3))
+    sh[:, 0, :] = data[:, [index[f"f_dc_{i}"] for i in range(3)]]
+    if k > 1:
+        rest = data[:, [index[f"f_rest_{i}"] for i in range(n_rest)]]
+        sh[:, 1:, :] = np.transpose(
+            rest.reshape(n, 3, k - 1), (0, 2, 1))
+    opacities = _sigmoid(data[:, index["opacity"]].astype(np.float64))
+    scales = np.exp(data[:, [index[f"scale_{i}"] for i in range(3)]]
+                    .astype(np.float64))
+    quats = data[:, [index[f"rot_{i}"] for i in range(4)]].astype(np.float64)
+    return GaussianCloud(positions=positions, scales=scales,
+                         quaternions=quats, opacities=opacities, sh=sh)

@@ -1,0 +1,196 @@
+"""EWA projection of 3D Gaussians to screen-space 2D splats.
+
+This is the "splatting" half of the preprocessing step in Figure 4 of the
+paper: each visible Gaussian becomes a 2D anisotropic Gaussian (an ellipse)
+on the image plane, described by a centre, a 2x2 covariance, its inverse (the
+*conic*), and a *tight oriented bounding box* whose boundary is the
+``alpha == 1/255`` iso-contour — the same tight-OBB optimisation the paper
+applies to both its CUDA and OpenGL implementations (Section III-A).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gaussians.camera import Camera
+from repro.gaussians.gaussian import GaussianCloud
+
+#: Fragments with alpha below this threshold are pruned (1/255).
+ALPHA_EPS = 1.0 / 255.0
+
+#: Low-pass filter added to the projected covariance diagonal, matching the
+#: 3DGS reference (ensures every splat covers at least ~one pixel).
+COV_BLUR = 0.3
+
+#: Alpha values are capped below 1 so transmittance never reaches exact zero
+#: in a single blend (3DGS caps at 0.99).
+ALPHA_MAX = 0.99
+
+
+class Splat2D:
+    """Screen-space splats as parallel arrays (one row per splat).
+
+    Attributes
+    ----------
+    centers:
+        ``(n, 2)`` pixel coordinates of splat centres.
+    conics:
+        ``(n, 3)`` packed inverse covariances ``(a, b, c)`` for the matrix
+        ``[[a, b], [b, c]]``; fragment alpha is
+        ``opacity * exp(-0.5 * (a dx^2 + 2 b dx dy + c dy^2))``.
+    axes:
+        ``(n, 2, 2)`` unit eigenvectors of the covariance (rows: major,
+        minor axis).
+    radii:
+        ``(n, 2)`` OBB half-extents along the two axes, in pixels, at the
+        ``alpha == ALPHA_EPS`` boundary.
+    depths:
+        ``(n,)`` camera-space z of the Gaussian centre (the sort key).
+    colors:
+        ``(n, 3)`` RGB colour evaluated during preprocessing.
+    opacities:
+        ``(n,)`` per-splat opacity.
+    """
+
+    def __init__(self, centers, conics, axes, radii, depths, colors, opacities):
+        self.centers = centers
+        self.conics = conics
+        self.axes = axes
+        self.radii = radii
+        self.depths = depths
+        self.colors = colors
+        self.opacities = opacities
+
+    def __len__(self):
+        return self.centers.shape[0]
+
+    def __repr__(self):
+        return f"Splat2D(n={len(self)})"
+
+    def subset(self, index):
+        """Select splats by boolean mask or index array."""
+        return Splat2D(
+            self.centers[index], self.conics[index], self.axes[index],
+            self.radii[index], self.depths[index], self.colors[index],
+            self.opacities[index],
+        )
+
+    def bounding_boxes(self):
+        """Axis-aligned pixel bounds ``(n, 4)`` as (xmin, ymin, xmax, ymax).
+
+        These are the AABBs *of the OBBs* — used for rasteriser bound
+        computation and for the CUDA path's tile assignment.
+        """
+        # Extent of a rotated rectangle along x/y is the sum of the
+        # projections of its half-axes.
+        half = np.abs(self.axes * self.radii[:, :, None]).sum(axis=1)
+        mins = self.centers - half
+        maxs = self.centers + half
+        return np.concatenate([mins, maxs], axis=1)
+
+
+def _eigendecompose_2x2(a, b, c):
+    """Eigen-decomposition of symmetric 2x2 matrices ``[[a, b], [b, c]]``.
+
+    Returns ``(eigvals, eigvecs)`` with ``eigvals`` shaped ``(n, 2)``
+    descending and ``eigvecs`` shaped ``(n, 2, 2)`` (rows are unit
+    eigenvectors matching the eigenvalue order).
+    """
+    mid = 0.5 * (a + c)
+    half_diff = 0.5 * (a - c)
+    disc = np.sqrt(half_diff ** 2 + b ** 2)
+    lam1 = mid + disc
+    lam2 = np.maximum(mid - disc, 1e-12)
+    # Eigenvector for lam1: (b, lam1 - a) unless b == 0, in which case the
+    # matrix is already diagonal and the axes are the coordinate axes.
+    vx = np.where(np.abs(b) > 1e-12, b, np.where(a >= c, 1.0, 0.0))
+    vy = np.where(np.abs(b) > 1e-12, lam1 - a, np.where(a >= c, 0.0, 1.0))
+    norm = np.sqrt(vx ** 2 + vy ** 2)
+    norm = np.where(norm < 1e-12, 1.0, norm)
+    major = np.stack([vx / norm, vy / norm], axis=1)
+    minor = np.stack([-major[:, 1], major[:, 0]], axis=1)
+    eigvals = np.stack([lam1, lam2], axis=1)
+    eigvecs = np.stack([major, minor], axis=1)
+    return eigvals, eigvecs
+
+
+def project_gaussians(cloud, camera, colors=None):
+    """Project a cloud to 2D splats for ``camera`` (no culling, no sorting).
+
+    Parameters
+    ----------
+    cloud:
+        The :class:`GaussianCloud` to project.
+    camera:
+        Target :class:`Camera`.
+    colors:
+        Optional ``(n, 3)`` precomputed RGB; if omitted, splats get colour
+        zero and callers are expected to fill it (``preprocess`` evaluates
+        SH before projecting).
+
+    Returns
+    -------
+    A :class:`Splat2D` with one entry per input Gaussian, in input order.
+    Entries behind the camera get zero radii (they never rasterise); callers
+    normally cull first.
+    """
+    if not isinstance(cloud, GaussianCloud):
+        raise TypeError(f"cloud must be a GaussianCloud, got {type(cloud).__name__}")
+    if not isinstance(camera, Camera):
+        raise TypeError(f"camera must be a Camera, got {type(camera).__name__}")
+    n = len(cloud)
+    cam_pos = camera.to_camera_space(cloud.positions)
+    tx, ty, tz = cam_pos[:, 0], cam_pos[:, 1], cam_pos[:, 2]
+    safe_z = np.where(tz > camera.znear, tz, np.inf)
+
+    centers = np.stack([
+        camera.fx * tx / safe_z + camera.cx,
+        camera.fy * ty / safe_z + camera.cy,
+    ], axis=1)
+
+    # EWA: Sigma' = J W Sigma W^T J^T with J the perspective Jacobian.
+    cov3d = cloud.covariances()
+    w_rot = camera.rotation
+    inv_z = 1.0 / safe_z
+    inv_z2 = inv_z ** 2
+    jac = np.zeros((n, 2, 3), dtype=np.float64)
+    jac[:, 0, 0] = camera.fx * inv_z
+    jac[:, 0, 2] = -camera.fx * tx * inv_z2
+    jac[:, 1, 1] = camera.fy * inv_z
+    jac[:, 1, 2] = -camera.fy * ty * inv_z2
+    jw = jac @ w_rot
+    cov2d = jw @ cov3d @ np.transpose(jw, (0, 2, 1))
+    a = cov2d[:, 0, 0] + COV_BLUR
+    b = cov2d[:, 0, 1]
+    c = cov2d[:, 1, 1] + COV_BLUR
+
+    det = a * c - b * b
+    det = np.where(det > 1e-12, det, np.inf)
+    conics = np.stack([c / det, -b / det, a / det], axis=1)
+
+    eigvals, eigvecs = _eigendecompose_2x2(a, b, c)
+    # Tight OBB: alpha = o * exp(-d^2/2) == ALPHA_EPS at
+    # d^2 = 2 ln(o / ALPHA_EPS); radius along an axis scales with sqrt(eig).
+    opacity = np.clip(cloud.opacities, 0.0, ALPHA_MAX)
+    ratio = np.maximum(opacity / ALPHA_EPS, 1.0)
+    max_d2 = 2.0 * np.log(ratio)
+    radii = np.sqrt(np.maximum(eigvals, 0.0)) * np.sqrt(max_d2)[:, None]
+    behind = tz <= camera.znear
+    radii[behind] = 0.0
+
+    if colors is None:
+        colors = np.zeros((n, 3), dtype=np.float64)
+    else:
+        colors = np.asarray(colors, dtype=np.float64)
+        if colors.shape != (n, 3):
+            raise ValueError(f"colors must have shape ({n}, 3), got {colors.shape}")
+
+    return Splat2D(
+        centers=centers,
+        conics=conics,
+        axes=eigvecs,
+        radii=radii,
+        depths=tz.copy(),
+        colors=colors,
+        opacities=opacity.astype(np.float64),
+    )

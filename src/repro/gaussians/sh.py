@@ -1,0 +1,99 @@
+"""Real spherical-harmonics colour evaluation (3DGS convention).
+
+3D Gaussian splatting stores view-dependent colour as SH coefficients up to
+degree 3 and evaluates them along the normalised camera-to-Gaussian
+direction, then shifts by +0.5 and clamps at zero.  The basis constants match
+the reference implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_shape
+
+_C0 = 0.28209479177387814
+_C1 = 0.4886025119029199
+_C2 = (1.0925484305920792, -1.0925484305920792, 0.31539156525252005,
+       -1.0925484305920792, 0.5462742152960396)
+_C3 = (-0.5900435899266435, 2.890611442640554, -0.4570457994644658,
+       0.3731763325901154, -0.4570457994644658, 1.445305721320277,
+       -0.5900435899266435)
+
+
+def num_sh_coeffs(degree):
+    """Number of SH coefficients for ``degree`` (0..3): ``(degree + 1)**2``."""
+    if degree not in (0, 1, 2, 3):
+        raise ValueError(f"SH degree must be 0..3, got {degree}")
+    return (degree + 1) ** 2
+
+
+def eval_sh(sh, directions):
+    """Evaluate SH colour for each Gaussian along per-Gaussian directions.
+
+    Parameters
+    ----------
+    sh:
+        ``(n, k, 3)`` coefficients; ``k`` determines the degree.
+    directions:
+        ``(n, 3)`` unit view directions (Gaussian centre minus camera,
+        normalised).  Normalisation is enforced here for safety.
+
+    Returns
+    -------
+    ``(n, 3)`` RGB colours, shifted by +0.5 and clamped to ``[0, +inf)`` as in
+    the 3DGS reference renderer.
+    """
+    sh = np.asarray(sh, dtype=np.float64)
+    directions = check_shape(
+        "directions", np.asarray(directions, dtype=np.float64), (None, 3))
+    if sh.ndim != 3 or sh.shape[0] != directions.shape[0] or sh.shape[2] != 3:
+        raise ValueError(
+            f"sh must have shape (n, k, 3) matching directions, got {sh.shape}")
+    k = sh.shape[1]
+    degree = int(np.sqrt(k)) - 1
+    if (degree + 1) ** 2 != k:
+        raise ValueError(f"sh coefficient count {k} is not a perfect square")
+
+    norms = np.linalg.norm(directions, axis=1, keepdims=True)
+    norms = np.where(norms < 1e-12, 1.0, norms)
+    d = directions / norms
+    x, y, z = d[:, 0], d[:, 1], d[:, 2]
+
+    color = _C0 * sh[:, 0]
+    if degree >= 1:
+        color = (color
+                 - _C1 * y[:, None] * sh[:, 1]
+                 + _C1 * z[:, None] * sh[:, 2]
+                 - _C1 * x[:, None] * sh[:, 3])
+    if degree >= 2:
+        xx, yy, zz = x * x, y * y, z * z
+        xy, yz, xz = x * y, y * z, x * z
+        color = (color
+                 + _C2[0] * xy[:, None] * sh[:, 4]
+                 + _C2[1] * yz[:, None] * sh[:, 5]
+                 + _C2[2] * (2.0 * zz - xx - yy)[:, None] * sh[:, 6]
+                 + _C2[3] * xz[:, None] * sh[:, 7]
+                 + _C2[4] * (xx - yy)[:, None] * sh[:, 8])
+    if degree >= 3:
+        xx, yy, zz = x * x, y * y, z * z
+        xy, yz, xz = x * y, y * z, x * z
+        color = (color
+                 + _C3[0] * (y * (3 * xx - yy))[:, None] * sh[:, 9]
+                 + _C3[1] * (xy * z)[:, None] * sh[:, 10]
+                 + _C3[2] * (y * (4 * zz - xx - yy))[:, None] * sh[:, 11]
+                 + _C3[3] * (z * (2 * zz - 3 * xx - 3 * yy))[:, None] * sh[:, 12]
+                 + _C3[4] * (x * (4 * zz - xx - yy))[:, None] * sh[:, 13]
+                 + _C3[5] * (z * (xx - yy))[:, None] * sh[:, 14]
+                 + _C3[6] * (x * (xx - 3 * yy))[:, None] * sh[:, 15])
+    return np.maximum(color + 0.5, 0.0)
+
+
+def rgb_to_sh_dc(rgb):
+    """Convert an RGB colour to the degree-0 (DC) SH coefficient.
+
+    Inverse of the DC term of :func:`eval_sh`: a cloud whose only SH
+    coefficient is ``rgb_to_sh_dc(c)`` renders with constant colour ``c``.
+    """
+    rgb = np.asarray(rgb, dtype=np.float64)
+    return (rgb - 0.5) / _C0

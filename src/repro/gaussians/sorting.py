@@ -1,0 +1,49 @@
+"""Depth sorting of splats.
+
+The hardware (OpenGL) rendering path needs exactly one global front-to-back
+sort of the visible Gaussians by centre depth — one of the efficiency
+arguments the paper makes versus the CUDA path, which must duplicate and
+sort per tile (Section III-A).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def depth_sort_indices(depths, front_to_back=True):
+    """Return indices sorting ``depths`` (stable).
+
+    Parameters
+    ----------
+    depths:
+        ``(n,)`` camera-space depths.
+    front_to_back:
+        Sort nearest-first when True (the order required by front-to-back
+        alpha blending); farthest-first otherwise.
+
+    Stability matters: splats at identical depth must keep submission order
+    so renders are deterministic across runs.
+    """
+    depths = np.asarray(depths)
+    if depths.ndim != 1:
+        raise ValueError(f"depths must be 1-D, got shape {depths.shape}")
+    order = np.argsort(depths, kind="stable")
+    if not front_to_back:
+        order = order[::-1]
+    return order
+
+
+def sort_cost_model(n_items, comparisons_per_cycle=32.0):
+    """Analytic cycle estimate of a GPU radix/merge sort of ``n_items`` keys.
+
+    Used by the end-to-end timing model (Figure 5 / 17): the CUB device sort
+    the paper uses is bandwidth-bound and roughly linear in item count for
+    fixed key width, so we model ``cycles = c * n`` with the constant set so
+    one item costs ``1 / comparisons_per_cycle`` cycles.
+    """
+    if n_items < 0:
+        raise ValueError(f"n_items must be >= 0, got {n_items}")
+    if comparisons_per_cycle <= 0:
+        raise ValueError("comparisons_per_cycle must be positive")
+    return float(n_items) / float(comparisons_per_cycle)

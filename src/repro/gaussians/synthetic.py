@@ -1,0 +1,236 @@
+"""Procedural Gaussian-scene building blocks.
+
+The paper evaluates trained 3DGS scenes (Table II).  Trained checkpoints are
+not available offline, so workloads are assembled from these primitives —
+blobs, planar surfaces, spherical shells, and depth-layered surface stacks —
+whose parameters control exactly the statistics the experiments depend on:
+splat footprint size, per-pixel depth complexity, and the amount of occluded
+"beyond the surface" content that early termination can skip.
+See ``repro.workloads.catalog`` for the per-scene compositions and DESIGN.md
+for the substitution rationale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gaussians.gaussian import GaussianCloud
+from repro.gaussians.sh import num_sh_coeffs, rgb_to_sh_dc
+from repro.utils.validation import check_positive
+
+
+def _rng(seed_or_rng):
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    return np.random.default_rng(seed_or_rng)
+
+
+def random_quaternions(rng, n):
+    """Uniformly random unit quaternions, shape ``(n, 4)`` as (w, x, y, z)."""
+    q = _rng(rng).normal(size=(n, 4))
+    q /= np.linalg.norm(q, axis=1, keepdims=True)
+    return q
+
+
+def _sh_from_colors(colors, sh_degree, rng, view_dep_strength=0.0):
+    """Build SH coefficients whose DC term reproduces ``colors``.
+
+    ``view_dep_strength`` adds random higher-order terms for view-dependent
+    shading when the degree allows it.
+    """
+    n = colors.shape[0]
+    k = num_sh_coeffs(sh_degree)
+    sh = np.zeros((n, k, 3))
+    sh[:, 0] = rgb_to_sh_dc(colors)
+    if sh_degree > 0 and view_dep_strength > 0:
+        sh[:, 1:] = _rng(rng).normal(scale=view_dep_strength, size=(n, k - 1, 3))
+    return sh
+
+
+def make_blob(rng, n, center, radius, scale_mean=0.02, scale_sigma=0.5,
+              opacity_low=0.3, opacity_high=0.95, base_color=(0.6, 0.5, 0.4),
+              color_jitter=0.15, sh_degree=0, anisotropy=3.0):
+    """An ellipsoidal cluster of Gaussians (an "object").
+
+    Parameters
+    ----------
+    rng:
+        Seed or ``numpy.random.Generator``.
+    n:
+        Gaussian count.
+    center, radius:
+        Cluster centre and standard deviation of positions.
+    scale_mean, scale_sigma:
+        Log-normal splat scale distribution (world units).
+    opacity_low, opacity_high:
+        Uniform opacity range.
+    anisotropy:
+        Max ratio between a Gaussian's largest and smallest axis scale.
+    """
+    rng = _rng(rng)
+    n = int(check_positive("n", n))
+    check_positive("radius", radius)
+    positions = np.asarray(center, dtype=np.float64) + rng.normal(
+        scale=radius, size=(n, 3))
+    base = scale_mean * np.exp(rng.normal(scale=scale_sigma, size=(n, 1)))
+    aniso = rng.uniform(1.0, anisotropy, size=(n, 3))
+    scales = base * aniso / aniso.mean(axis=1, keepdims=True)
+    opacities = rng.uniform(opacity_low, opacity_high, size=n)
+    colors = np.clip(
+        np.asarray(base_color) + rng.normal(scale=color_jitter, size=(n, 3)),
+        0.02, 0.98)
+    return GaussianCloud(
+        positions=positions,
+        scales=scales,
+        quaternions=random_quaternions(rng, n),
+        opacities=opacities,
+        sh=_sh_from_colors(colors, sh_degree, rng),
+    )
+
+
+def make_plane(rng, n, center, normal, extent, thickness=0.01,
+               scale_mean=0.03, scale_sigma=0.4, opacity_low=0.5,
+               opacity_high=0.98, base_color=(0.5, 0.5, 0.5),
+               color_jitter=0.1, sh_degree=0):
+    """A noisy planar sheet of Gaussians (a wall, floor, or facade).
+
+    ``extent`` may be a scalar (square) or a pair (two in-plane half-sizes).
+    Splats on the plane are flattened along the normal, like trained 3DGS
+    surfaces.
+    """
+    rng = _rng(rng)
+    n = int(check_positive("n", n))
+    normal = np.asarray(normal, dtype=np.float64)
+    normal = normal / np.linalg.norm(normal)
+    # In-plane orthonormal basis.
+    helper = np.array([1.0, 0.0, 0.0])
+    if abs(normal @ helper) > 0.9:
+        helper = np.array([0.0, 1.0, 0.0])
+    u = np.cross(normal, helper)
+    u /= np.linalg.norm(u)
+    v = np.cross(normal, u)
+    if np.isscalar(extent):
+        eu = ev = float(extent)
+    else:
+        eu, ev = float(extent[0]), float(extent[1])
+    coords_u = rng.uniform(-eu, eu, size=n)
+    coords_v = rng.uniform(-ev, ev, size=n)
+    offsets = rng.normal(scale=thickness, size=n)
+    positions = (np.asarray(center, dtype=np.float64)
+                 + coords_u[:, None] * u
+                 + coords_v[:, None] * v
+                 + offsets[:, None] * normal)
+    base = scale_mean * np.exp(rng.normal(scale=scale_sigma, size=n))
+    scales = np.stack([base, base, np.full(n, thickness)], axis=1)
+    # Orient each Gaussian so its thin axis aligns with the plane normal.
+    # Build a rotation whose third column is `normal` (quaternion from the
+    # frame [u, v, normal]); add small jitter for realism.
+    quats = _frame_to_quaternion(u, v, normal, n, rng)
+    colors = np.clip(
+        np.asarray(base_color) + rng.normal(scale=color_jitter, size=(n, 3)),
+        0.02, 0.98)
+    return GaussianCloud(
+        positions=positions,
+        scales=scales,
+        quaternions=quats,
+        opacities=rng.uniform(opacity_low, opacity_high, size=n),
+        sh=_sh_from_colors(colors, sh_degree, rng),
+    )
+
+
+def _frame_to_quaternion(u, v, w, n, rng, jitter=0.05):
+    """Quaternions for the rotation with columns (u, v, w), with jitter."""
+    rot = np.stack([u, v, w], axis=1)
+    # Standard matrix-to-quaternion (trace method); the frame is orthonormal.
+    trace = rot[0, 0] + rot[1, 1] + rot[2, 2]
+    if trace > 0:
+        s = 0.5 / np.sqrt(trace + 1.0)
+        quat = np.array([
+            0.25 / s,
+            (rot[2, 1] - rot[1, 2]) * s,
+            (rot[0, 2] - rot[2, 0]) * s,
+            (rot[1, 0] - rot[0, 1]) * s,
+        ])
+    else:
+        # Fall back to the dominant-diagonal branch.
+        i = int(np.argmax([rot[0, 0], rot[1, 1], rot[2, 2]]))
+        j, k = (i + 1) % 3, (i + 2) % 3
+        s = 2.0 * np.sqrt(max(1.0 + rot[i, i] - rot[j, j] - rot[k, k], 1e-12))
+        quat = np.empty(4)
+        quat[0] = (rot[k, j] - rot[j, k]) / s
+        quat[1 + i] = 0.25 * s
+        quat[1 + j] = (rot[j, i] + rot[i, j]) / s
+        quat[1 + k] = (rot[k, i] + rot[i, k]) / s
+    quats = np.tile(quat, (n, 1))
+    quats += _rng(rng).normal(scale=jitter, size=(n, 4))
+    quats /= np.linalg.norm(quats, axis=1, keepdims=True)
+    return quats
+
+
+def make_shell(rng, n, center, radius, thickness=0.05, scale_mean=0.05,
+               scale_sigma=0.4, opacity_low=0.4, opacity_high=0.9,
+               base_color=(0.45, 0.5, 0.55), color_jitter=0.1, sh_degree=0):
+    """A spherical shell of Gaussians (a surrounding room or environment).
+
+    Models the "background room" structure of indoor captures like Bonsai,
+    where the object of interest sits inside an enclosing surface.
+    """
+    rng = _rng(rng)
+    n = int(check_positive("n", n))
+    check_positive("radius", radius)
+    dirs = rng.normal(size=(n, 3))
+    dirs /= np.linalg.norm(dirs, axis=1, keepdims=True)
+    radii = radius + rng.normal(scale=thickness, size=n)
+    positions = np.asarray(center, dtype=np.float64) + dirs * radii[:, None]
+    base = scale_mean * np.exp(rng.normal(scale=scale_sigma, size=(n, 1)))
+    scales = base * rng.uniform(0.5, 1.5, size=(n, 3))
+    colors = np.clip(
+        np.asarray(base_color) + rng.normal(scale=color_jitter, size=(n, 3)),
+        0.02, 0.98)
+    return GaussianCloud(
+        positions=positions,
+        scales=scales,
+        quaternions=random_quaternions(rng, n),
+        opacities=rng.uniform(opacity_low, opacity_high, size=n),
+        sh=_sh_from_colors(colors, sh_degree, rng),
+    )
+
+
+def make_layered_surfaces(rng, n, center, extent, n_layers, layer_spacing,
+                          axis=(0.0, 0.0, 1.0), scale_mean=0.04,
+                          opacity_low=0.55, opacity_high=0.98,
+                          base_color=(0.55, 0.5, 0.45), sh_degree=0):
+    """Several parallel planar sheets stacked along ``axis``.
+
+    This is the workhorse for controlling the early-termination ratio: the
+    front sheets occlude the back ones, so the fraction of Gaussians "beyond
+    the surface" grows with ``n_layers``.  Outdoor captures (Train, Truck)
+    behave like deep stacks; synthetic object scenes like shallow ones.
+    """
+    rng = _rng(rng)
+    n = int(check_positive("n", n))
+    n_layers = int(check_positive("n_layers", n_layers))
+    axis = np.asarray(axis, dtype=np.float64)
+    axis = axis / np.linalg.norm(axis)
+    per_layer = np.full(n_layers, n // n_layers, dtype=int)
+    per_layer[: n % n_layers] += 1
+    layers = []
+    for i, count in enumerate(per_layer):
+        if count == 0:
+            continue
+        offset = (i - (n_layers - 1) / 2.0) * layer_spacing
+        layer_center = np.asarray(center, dtype=np.float64) + offset * axis
+        shade = 0.75 + 0.5 * (i / max(n_layers - 1, 1) - 0.5)
+        layers.append(make_plane(
+            rng, count, layer_center, axis, extent,
+            scale_mean=scale_mean, opacity_low=opacity_low,
+            opacity_high=opacity_high,
+            base_color=tuple(np.clip(np.asarray(base_color) * shade, 0.02, 0.98)),
+            sh_degree=sh_degree,
+        ))
+    return GaussianCloud.concatenate(layers)
+
+
+def compose(*clouds):
+    """Concatenate building blocks into one scene cloud."""
+    return GaussianCloud.concatenate(clouds)

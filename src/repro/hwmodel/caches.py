@@ -1,0 +1,87 @@
+"""A small fully-associative LRU line cache.
+
+Used for the per-GPC CROP cache (16 KB, 128 B lines — sized by the paper's
+§VII-A probe, Figure 20a) and the Z/stencil cache.  Fully-associative LRU is
+the right idealisation here: the probe in the paper measures *capacity*
+behaviour ("the CROP cache has never held more than 16 KB of data"), and the
+real structure's associativity is unpublished.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class LRUCache:
+    """Fully-associative LRU cache over line addresses.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total capacity.
+    line_bytes:
+        Line size; addresses are divided by this to form tags.
+    """
+
+    def __init__(self, size_bytes, line_bytes=128):
+        if size_bytes <= 0 or line_bytes <= 0:
+            raise ValueError("cache size and line size must be positive")
+        if size_bytes < line_bytes:
+            raise ValueError("cache must hold at least one line")
+        self.size_bytes = int(size_bytes)
+        self.line_bytes = int(line_bytes)
+        self.n_lines = self.size_bytes // self.line_bytes
+        self._lines = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    def __len__(self):
+        return len(self._lines)
+
+    def reset_counters(self):
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    def flush(self):
+        """Drop all lines (counts dirty ones as writebacks)."""
+        self.writebacks += sum(1 for dirty in self._lines.values() if dirty)
+        self._lines.clear()
+
+    def access(self, address, write=False):
+        """Access a byte address; returns True on hit.
+
+        A miss inserts the line, evicting LRU if full; dirty evictions are
+        counted as writebacks (blending is read-modify-write, so CROP
+        accesses are writes).
+        """
+        tag = int(address) // self.line_bytes
+        return self.access_line(tag, write=write)
+
+    def access_line(self, tag, write=False):
+        """Access by line tag directly (cheaper when callers precompute)."""
+        lines = self._lines
+        if tag in lines:
+            self.hits += 1
+            lines.move_to_end(tag)
+            if write:
+                lines[tag] = True
+            return True
+        self.misses += 1
+        if len(lines) >= self.n_lines:
+            _, dirty = lines.popitem(last=False)
+            self.evictions += 1
+            if dirty:
+                self.writebacks += 1
+        lines[tag] = bool(write)
+        return False
+
+    def access_many(self, tags, write=False):
+        """Access a sequence of line tags; returns the number of misses."""
+        before = self.misses
+        for tag in tags:
+            self.access_line(int(tag), write=write)
+        return self.misses - before

@@ -1,0 +1,340 @@
+"""GraphicsPipeline: drives one draw call through the modelled hardware.
+
+Data flow (Figure 12 of the paper)::
+
+    splats -> vertex shading -> VPO -> [TGC]* -> rasterizer -> TC bins
+           -> PROP (-> ZROP termination test*) (-> quad reorder*)
+           -> SM fragment shading (-> warp-shuffle merge*)
+           -> CROP blending (-> alpha test -> ZROP termination update*)
+
+    (* = VR-Pipe extensions, enabled by config.enable_het / enable_qm)
+
+Functional results (which fragments blend, in what order) come from the
+shared :class:`~repro.render.fragstream.FragmentStream`; this module
+simulates the *mechanics* — exact TGC/TC bin dynamics, QRU pairing, cache
+traffic — and accounts busy cycles per unit.  Total draw time uses the
+streaming-bottleneck model (max over units + fill), which is also what
+produces the utilisation report of Figure 6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hwmodel.config import GPUConfig
+from repro.hwmodel.crop import CropUnit
+from repro.hwmodel.prop import plan_merges
+from repro.hwmodel.raster_hw import RasterEngine
+from repro.hwmodel.sm import ShaderArray
+from repro.hwmodel.stats import PipelineStats
+from repro.hwmodel.tc import TileCoalescer
+from repro.hwmodel.tgc import TileGridCoalescer
+from repro.hwmodel.units import popcount4
+from repro.hwmodel.vpo import VertexPipeline
+from repro.hwmodel.zrop import ZropUnit
+from repro.render.fragstream import FragmentStream
+from repro.utils.arrays import segment_boundaries
+
+
+class DrawWorkload:
+    """A draw call pre-digested for the pipeline simulator.
+
+    Groups the quad table by (primitive, screen tile) — the granularity at
+    which the rasteriser feeds the TC unit — and precomputes per-group
+    raster-tile masks plus the per-pixel termination set for HET.
+    """
+
+    def __init__(self, quads, n_prims, width, height, n_terminated_pixels,
+                 terminated_stencil_tags):
+        self.quads = quads
+        self.n_prims = int(n_prims)
+        self.width = int(width)
+        self.height = int(height)
+        self.n_terminated_pixels = int(n_terminated_pixels)
+        self.terminated_stencil_tags = terminated_stencil_tags
+        self._build_groups()
+
+    @classmethod
+    def from_stream(cls, stream, config):
+        """Build a workload from a fragment stream under ``config``.
+
+        The termination threshold baked into the quad table follows
+        ``config.termination_alpha``.
+        """
+        if not isinstance(stream, FragmentStream):
+            raise TypeError(
+                f"stream must be a FragmentStream, got {type(stream).__name__}")
+        lag = config.het_inflight_lag if config.enable_het else 0
+        quads = stream.quad_table(config.termination_alpha, lag)
+        n_prims = stream.prim_colors.shape[0]
+        # Pixels whose accumulated alpha saturates generate exactly one
+        # termination update each (the CROP alpha test's double-sided
+        # condition fires once per pixel).
+        _, alpha_map = stream.blend_image(early_term=False)
+        terminated = alpha_map.reshape(-1) >= config.termination_alpha
+        term_pixels = np.flatnonzero(terminated)
+        lines_per_row = max(1, -(-stream.width // config.cache_line_bytes))
+        ys, xs = np.divmod(term_pixels, stream.width)
+        tags = np.unique(ys * lines_per_row + xs // config.cache_line_bytes)
+        return cls(quads, n_prims, stream.width, stream.height,
+                   n_terminated_pixels=int(terminated.sum()),
+                   terminated_stencil_tags=tags)
+
+    # ------------------------------------------------------------------
+
+    def _build_groups(self):
+        quads = self.quads
+        n_quads = len(quads)
+        tiles_x = -(-self.width // 16)
+        tiles_y = -(-self.height // 16)
+        self.n_tiles = tiles_x * tiles_y
+        if n_quads == 0:
+            self.group_starts = np.empty(0, dtype=np.int64)
+            self.group_prim = np.empty(0, dtype=np.int64)
+            self.group_tile = np.empty(0, dtype=np.int64)
+            self.group_grid = np.empty(0, dtype=np.int64)
+            self.group_n_quads = np.empty(0, dtype=np.int64)
+            self.group_n_rtiles = np.empty(0, dtype=np.int64)
+            self.prim_group_ranges = {}
+            self.prim_grids = {}
+            return
+        combined = quads.prim_ids * self.n_tiles + quads.tile_ids
+        if np.any(np.diff(combined) < 0):
+            raise ValueError("quad table is not sorted by (prim, tile)")
+        starts = segment_boundaries(combined)
+        ends = np.concatenate((starts[1:], [n_quads]))
+        self.group_starts = starts
+        self.group_ends = ends
+        self.group_prim = quads.prim_ids[starts]
+        self.group_tile = quads.tile_ids[starts]
+        self.group_grid = quads.grid_ids[starts]
+        self.group_n_quads = ends - starts
+        # Raster tiles (8x8 px = 4x4 quads) within the 16x16 tile: 2x2
+        # possibilities; a bitmask OR-reduce counts the distinct ones.
+        rt_index = ((quads.qpos // 8) // 4) * 2 + (quads.qpos % 8) // 4
+        rt_bit = np.left_shift(1, rt_index.astype(np.int64))
+        rt_mask = np.bitwise_or.reduceat(rt_bit, starts)
+        self.group_n_rtiles = popcount4(rt_mask)
+
+        # Per-primitive ranges over the group arrays.
+        prim_starts = segment_boundaries(self.group_prim)
+        prim_ends = np.concatenate((prim_starts[1:], [self.group_prim.shape[0]]))
+        self.prim_group_ranges = {
+            int(self.group_prim[s]): (int(s), int(e))
+            for s, e in zip(prim_starts, prim_ends)
+        }
+        self.prim_grids = {
+            prim: np.unique(self.group_grid[s:e])
+            for prim, (s, e) in self.prim_group_ranges.items()
+        }
+
+    @property
+    def prims_with_quads(self):
+        """Primitive rows that produced at least one quad, in draw order."""
+        return sorted(self.prim_group_ranges)
+
+
+class DrawResult:
+    """Outcome of a simulated draw call."""
+
+    def __init__(self, stats, config, workload):
+        self.stats = stats
+        self.config = config
+        self.workload = workload
+
+    @property
+    def cycles(self):
+        return self.stats.total_cycles
+
+    def time_ms(self):
+        """Wall-clock estimate at the configured core frequency."""
+        return self.stats.total_cycles / self.config.frequency_hz() * 1e3
+
+    def utilization(self):
+        return self.stats.utilization()
+
+    def __repr__(self):
+        return (f"DrawResult(cycles={self.cycles:,.0f}, "
+                f"bottleneck={self.stats.bottleneck()!r})")
+
+
+class GraphicsPipeline:
+    """The modelled GPU pipeline; one instance per draw call."""
+
+    def __init__(self, config=None):
+        self.config = config if config is not None else GPUConfig()
+        if not isinstance(self.config, GPUConfig):
+            raise TypeError("config must be a GPUConfig")
+        self._trace = None
+
+    # ------------------------------------------------------------------
+
+    def draw(self, workload_or_stream, crop_cache=None, trace=None):
+        """Simulate one draw call; returns a :class:`DrawResult`.
+
+        ``crop_cache`` optionally shares a warm CROP cache across draws
+        (used by the §VII microbenchmark probes).  ``trace`` optionally
+        collects per-flush events into a
+        :class:`~repro.hwmodel.trace.DrawTrace`.
+        """
+        if isinstance(workload_or_stream, FragmentStream):
+            workload = DrawWorkload.from_stream(workload_or_stream, self.config)
+        elif isinstance(workload_or_stream, DrawWorkload):
+            workload = workload_or_stream
+        else:
+            raise TypeError(
+                "draw() accepts a FragmentStream or DrawWorkload, got "
+                f"{type(workload_or_stream).__name__}")
+
+        cfg = self.config
+        self._trace = trace
+        stats = PipelineStats()
+        shader = ShaderArray(cfg, stats)
+        vertex = VertexPipeline(cfg, stats, shader)
+        raster = RasterEngine(cfg, stats)
+        crop = CropUnit(cfg, stats, cache=crop_cache)
+        zrop = ZropUnit(cfg, stats)
+        tc = TileCoalescer(cfg.n_tc_bins, cfg.tc_bin_quads)
+
+        vertex.process_prims(workload.n_prims)
+
+        if cfg.enable_qm and cfg.qm_use_tgc:
+            self._run_with_tgc(workload, raster, tc, crop, zrop, shader, stats)
+        else:
+            self._run_in_draw_order(workload, raster, tc, crop, zrop, shader, stats)
+
+        for batch in tc.drain():
+            self._process_flush(batch, workload, crop, zrop, shader, stats)
+        stats.tc_flush_full = tc.flush_counts[TileCoalescer.FLUSH_FULL]
+        stats.tc_flush_evict = tc.flush_counts[TileCoalescer.FLUSH_EVICT]
+        stats.tc_flush_final = (tc.flush_counts[TileCoalescer.FLUSH_FINAL]
+                                + tc.flush_counts[TileCoalescer.FLUSH_TIMEOUT])
+
+        if cfg.enable_het:
+            zrop.termination_updates(workload.n_terminated_pixels,
+                                     workload.terminated_stencil_tags)
+
+        crop.finish_draw()
+        raster.finalize()
+        stats.finalize(cfg.pipeline_fill_cycles)
+        self._trace = None
+        return DrawResult(stats, cfg, workload)
+
+    # ------------------------------------------------------------------
+
+    def _run_in_draw_order(self, workload, raster, tc, crop, zrop, shader,
+                           stats):
+        """Baseline order: primitives hit the rasteriser in draw order."""
+        for prim in workload.prims_with_quads:
+            s, e = workload.prim_group_ranges[prim]
+            n_quads = int(workload.group_n_quads[s:e].sum())
+            n_rtiles = int(workload.group_n_rtiles[s:e].sum())
+            raster.accumulate(1, n_rtiles, n_quads)
+            for g in range(s, e):
+                rows = np.arange(workload.group_starts[g],
+                                 workload.group_ends[g])
+                for batch in tc.insert(int(workload.group_tile[g]), rows):
+                    self._process_flush(batch, workload, crop, zrop, shader,
+                                        stats)
+
+    def _run_with_tgc(self, workload, raster, tc, crop, zrop, shader, stats):
+        """VR-Pipe order: the TGC unit groups primitives per tile grid."""
+        cfg = self.config
+        tgc = TileGridCoalescer(cfg.n_tgc_bins, cfg.tgc_bin_prims)
+        flushes = []
+        for prim in workload.prims_with_quads:
+            for grid in workload.prim_grids[prim]:
+                flushes.extend(tgc.insert(int(grid), prim))
+            while flushes:
+                grid_id, prims, _reason = flushes.pop(0)
+                self._rasterize_grid_group(grid_id, prims, workload, raster,
+                                           tc, crop, zrop, shader, stats)
+        for grid_id, prims, _reason in tgc.drain():
+            self._rasterize_grid_group(grid_id, prims, workload, raster, tc,
+                                       crop, zrop, shader, stats)
+        stats.tgc_flush_full = tgc.flush_counts[TileGridCoalescer.FLUSH_FULL]
+        stats.tgc_flush_evict = tgc.flush_counts[TileGridCoalescer.FLUSH_EVICT]
+        stats.tgc_flush_final = tgc.flush_counts[TileGridCoalescer.FLUSH_FINAL]
+
+    def _rasterize_grid_group(self, grid_id, prims, workload, raster, tc,
+                              crop, zrop, shader, stats):
+        """Rasterise the portions of ``prims`` that fall in ``grid_id``."""
+        for prim in prims:
+            s, e = workload.prim_group_ranges[prim]
+            in_grid = np.flatnonzero(workload.group_grid[s:e] == grid_id) + s
+            if in_grid.size == 0:
+                continue
+            n_quads = int(workload.group_n_quads[in_grid].sum())
+            n_rtiles = int(workload.group_n_rtiles[in_grid].sum())
+            raster.accumulate(1, n_rtiles, n_quads)
+            for g in in_grid:
+                rows = np.arange(workload.group_starts[g],
+                                 workload.group_ends[g])
+                for batch in tc.insert(int(workload.group_tile[g]), rows):
+                    self._process_flush(batch, workload, crop, zrop, shader,
+                                        stats)
+
+    # ------------------------------------------------------------------
+
+    def _process_flush(self, batch, workload, crop, zrop, shader, stats):
+        """One TC flush: ZROP test -> QRU -> shading -> CROP blend."""
+        cfg = self.config
+        quads = workload.quads
+        rows = batch.quad_rows
+        n_flushed = rows.shape[0]
+
+        # TC unit insertion throughput, accounted at flush over the whole
+        # batch (every flushed quad passed through the bin).
+        stats.units["tc"].add(n_flushed, n_flushed / cfg.tc_quads_per_cycle)
+
+        if cfg.enable_het:
+            survivors = zrop.termination_test(
+                quads.mask_unterminated[rows], batch.tile_id, workload.width)
+            rows = rows[survivors]
+            blend_masks = quads.mask_et[rows]
+        else:
+            blend_masks = quads.mask_unpruned[rows]
+        if rows.shape[0] == 0:
+            if self._trace is not None:
+                self._trace.record_flush(batch.tile_id, batch.reason,
+                                         n_flushed, 0, 0, 0)
+            return
+
+        pairs_before = stats.quads_merged_pairs
+        if cfg.enable_qm:
+            plan = plan_merges(quads.qpos[rows])
+            shader.shade_fragment_batch(rows.shape[0], plan.n_pairs)
+            stats.quads_merged_pairs += plan.n_pairs
+            out_masks = np.concatenate((
+                blend_masks[plan.first] | blend_masks[plan.second],
+                blend_masks[plan.singles],
+            ))
+            out_rows = np.concatenate((rows[plan.first], rows[plan.singles]))
+        else:
+            shader.shade_fragment_batch(rows.shape[0], 0)
+            out_masks = blend_masks
+            out_rows = rows
+
+        live = out_masks != 0
+        n_crop_quads = int(live.sum())
+        n_fragments = int(popcount4(out_masks[live]).sum()) if n_crop_quads else 0
+
+        # PROP: quads pass it twice — dispatch toward the SMs (all flushed
+        # quads, at the lighter dispatch weight) and the ordered return of
+        # blendable quads into the CROP stream.
+        prop_work = cfg.prop_dispatch_weight * n_flushed + n_crop_quads
+        stats.units["prop"].add(n_flushed + n_crop_quads,
+                                prop_work / cfg.prop_quads_per_cycle)
+
+        if n_crop_quads:
+            tags = crop.quad_line_tags(
+                quads.qx[out_rows[live]], quads.qy[out_rows[live]],
+                workload.width)
+            crop.blend_batch(n_crop_quads, n_fragments, tags)
+
+        if self._trace is not None:
+            n_pairs = (stats.quads_merged_pairs - pairs_before
+                       if cfg.enable_qm else 0)
+            self._trace.record_flush(
+                batch.tile_id, batch.reason, n_flushed, rows.shape[0],
+                n_pairs, n_crop_quads)

@@ -1,0 +1,94 @@
+"""PROP-side quad reordering: the Quad Reorder Unit (QRU).
+
+The QRU (Figure 14, right) examines the quads of one TC flush in arrival
+order.  It keeps one 8-bit register (valid bit + 7-bit quad id) per quad
+position of the screen tile (8x8 = 64 positions).  When a quad lands on a
+position whose register already holds a valid quad id, the two quads form a
+*merge pair*: they are dispatched adjacently in a warp with merge flags, the
+fragment shader partially blends them via warp shuffle, and a single merged
+quad reaches the CROP.  Because pairs are consecutive occupants of the same
+pixel positions in front-to-back order, the associativity of the blend
+equation guarantees an unchanged final image.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class MergePlan:
+    """Result of QRU pairing for one flush batch.
+
+    Attributes
+    ----------
+    first, second:
+        Index arrays (into the flush batch) of pair members; ``first[i]``
+        arrives before ``second[i]`` and both share a quad position.
+    singles:
+        Indices of quads left unmerged.
+    """
+
+    __slots__ = ("first", "second", "singles")
+
+    def __init__(self, first, second, singles):
+        self.first = first
+        self.second = second
+        self.singles = singles
+
+    @property
+    def n_pairs(self):
+        return self.first.shape[0]
+
+    @property
+    def n_quads_out(self):
+        """Quads forwarded to the CROP after merging."""
+        return self.n_pairs + self.singles.shape[0]
+
+
+def plan_merges(qpos):
+    """Pair consecutive same-position quads, preserving arrival order.
+
+    ``qpos`` is the per-quad position (0..63) within the flushed tile, in
+    arrival order.  The sequential register-file scan of the hardware pairs
+    occupants 1&2, 3&4, ... of each position; this vectorised equivalent
+    produces identical pairs.
+    """
+    qpos = np.asarray(qpos)
+    n = qpos.shape[0]
+    if n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return MergePlan(empty, empty, empty)
+    order = np.argsort(qpos, kind="stable")     # groups positions, keeps arrival order
+    sorted_pos = qpos[order]
+    # Rank of each quad within its position group.
+    is_start = np.empty(n, dtype=bool)
+    is_start[0] = True
+    np.not_equal(sorted_pos[1:], sorted_pos[:-1], out=is_start[1:])
+    group_start = np.maximum.accumulate(np.where(is_start, np.arange(n), 0))
+    rank = np.arange(n) - group_start
+    # Even ranks with a same-group successor pair with that successor.
+    has_next = np.zeros(n, dtype=bool)
+    has_next[:-1] = ~is_start[1:]
+    first_mask = (rank % 2 == 0) & has_next
+    first = order[first_mask]
+    second = order[np.flatnonzero(first_mask) + 1]
+    paired = np.zeros(n, dtype=bool)
+    paired[first] = True
+    paired[second] = True
+    singles = np.flatnonzero(~paired)
+    return MergePlan(first=first.astype(np.int64),
+                     second=second.astype(np.int64),
+                     singles=singles.astype(np.int64))
+
+
+def qru_storage_bytes(n_quad_buffer=128, cbe_pointer_bytes=4,
+                      qpos_bits=6, n_registers=64, register_bytes=1,
+                      bitmap_bits=128):
+    """Table III storage cost of the quad reorder unit.
+
+    ``(4 B CBE pointer + 6-bit quad pos.) * 128 + 64 * 1 B + 16 B = 688 B``
+    with the defaults.
+    """
+    buffer_bits = (cbe_pointer_bytes * 8 + qpos_bits) * n_quad_buffer
+    register_bits = n_registers * register_bytes * 8
+    return (buffer_bits + register_bits + bitmap_bits) // 8

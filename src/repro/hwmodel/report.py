@@ -1,0 +1,82 @@
+"""Human-readable draw-call reports and variant comparisons.
+
+Turns :class:`~repro.hwmodel.pipeline.DrawResult` objects into the kind of
+per-draw analysis an architect reads: unit occupancy, workload funnel
+(rasterised -> shaded -> blended), bin-dynamics summary, memory traffic,
+and side-by-side variant deltas.
+"""
+
+from __future__ import annotations
+
+from repro.hwmodel.pipeline import DrawResult
+
+
+def draw_report(result, title=None):
+    """Multi-line report for one simulated draw call."""
+    if not isinstance(result, DrawResult):
+        raise TypeError(f"result must be a DrawResult, got {type(result).__name__}")
+    stats = result.stats
+    cfg = result.config
+    util = result.utilization()
+    lines = []
+    if title:
+        lines.append(f"== {title} ==")
+    lines.append(
+        f"config: {cfg.name} (HET={'on' if cfg.enable_het else 'off'}, "
+        f"QM={'on' if cfg.enable_qm else 'off'})")
+    lines.append(
+        f"cycles: {stats.total_cycles:,.0f}  ({result.time_ms():.3f} ms at "
+        f"{cfg.sm_freq_mhz:.0f} MHz)  bottleneck: {stats.bottleneck()}")
+    lines.append("occupancy: " + "  ".join(
+        f"{name}={util[name]:.0%}"
+        for name in ("prop", "crop", "zrop", "raster", "sm", "dram")))
+    lines.append(
+        "workload funnel: "
+        f"prims={stats.n_prims:,} -> quads={stats.quads_rasterized:,} -> "
+        f"shaded={stats.quads_to_sm:,} -> blended={stats.quads_to_crop:,} "
+        f"quads ({stats.fragments_blended:,} fragments)")
+    if stats.quads_discarded_zrop or stats.termination_updates:
+        lines.append(
+            f"early termination: {stats.quads_discarded_zrop:,} quads "
+            f"discarded at ZROP, {stats.termination_updates:,} "
+            "termination-bit updates")
+    if stats.quads_merged_pairs:
+        lines.append(
+            f"quad merging: {stats.quads_merged_pairs:,} pairs merged "
+            f"({stats.merge_warps:,} merge warps)")
+    lines.append(
+        f"tile coalescing: {stats.tc_flushes():,} flushes "
+        f"(full={stats.tc_flush_full:,} evict={stats.tc_flush_evict:,} "
+        f"final={stats.tc_flush_final:,}); warps={stats.warps_launched:,}")
+    hits = stats.crop_cache_hits
+    misses = stats.crop_cache_misses
+    total = hits + misses
+    hit_rate = hits / total if total else 0.0
+    lines.append(
+        f"memory: CROP cache {hit_rate:.0%} hit ({misses:,} misses); "
+        f"DRAM {stats.dram_bytes / 1024:,.0f} KiB")
+    return "\n".join(lines)
+
+
+def compare_variants(results, baseline="baseline"):
+    """Tabular comparison of several variants' key counters.
+
+    ``results`` maps variant name -> DrawResult; the named baseline anchors
+    the speedup column.
+    """
+    if baseline not in results:
+        raise KeyError(f"results must include the {baseline!r} variant")
+    base_cycles = results[baseline].stats.total_cycles
+    header = (f"{'variant':>10} {'cycles':>12} {'speedup':>8} "
+              f"{'quads->ROP':>11} {'frags blended':>14} {'merged':>8} "
+              f"{'ET kills':>9}")
+    lines = [header, "-" * len(header)]
+    for name, result in results.items():
+        stats = result.stats
+        lines.append(
+            f"{name:>10} {stats.total_cycles:>12,.0f} "
+            f"{base_cycles / stats.total_cycles:>8.2f} "
+            f"{stats.quads_to_crop:>11,} {stats.fragments_blended:>14,} "
+            f"{stats.quads_merged_pairs:>8,} "
+            f"{stats.quads_discarded_zrop:>9,}")
+    return "\n".join(lines)

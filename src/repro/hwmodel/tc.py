@@ -1,0 +1,141 @@
+"""Tile Coalescing (TC) unit: per-screen-tile quad bins.
+
+The TC unit (Section V-A) aggregates quads from fine raster into bins — one
+bin per screen tile (16x16 px), 32 bins of 128 quads each (Table I) — and
+flushes a bin to the PROP when (1) it is full, (2) all bins are occupied and
+a quad for a new tile arrives (the oldest bin is evicted), or (3) a timeout
+elapses after the last incoming quad.  The §VII-A tile-binning probe
+("drawing 330 rectangles across 33 screen tiles leads to 330 warps") is a
+direct consequence of rule (2) and is reproduced by this model.
+
+Quads are stored as *indices into the draw call's quad table*, so flush
+batches are cheap NumPy fancy-index views.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+
+class FlushBatch:
+    """One TC-bin flush: the quads of a single screen tile, in order."""
+
+    __slots__ = ("tile_id", "quad_rows", "reason")
+
+    def __init__(self, tile_id, quad_rows, reason):
+        self.tile_id = tile_id
+        self.quad_rows = quad_rows
+        self.reason = reason
+
+    def __len__(self):
+        return self.quad_rows.shape[0]
+
+    def __repr__(self):
+        return (f"FlushBatch(tile={self.tile_id}, quads={len(self)}, "
+                f"reason={self.reason!r})")
+
+
+class TileCoalescer:
+    """Exact-bin-dynamics model of the TC unit.
+
+    Parameters
+    ----------
+    n_bins, bin_capacity:
+        Table I: 32 bins x 128 quads.
+    timeout_quads:
+        Optional timeout model: a bin idle while this many quads (for other
+        tiles) stream past is flushed.  ``None`` disables the rule (the
+        capacity/eviction rules dominate for splatting workloads); the
+        microbenchmarks enable it to mimic idle-flush behaviour.
+    """
+
+    FLUSH_FULL = "full"
+    FLUSH_EVICT = "evict"
+    FLUSH_TIMEOUT = "timeout"
+    FLUSH_FINAL = "final"
+
+    def __init__(self, n_bins=32, bin_capacity=128, timeout_quads=None):
+        if n_bins <= 0 or bin_capacity <= 0:
+            raise ValueError("n_bins and bin_capacity must be positive")
+        if timeout_quads is not None and timeout_quads <= 0:
+            raise ValueError("timeout_quads must be positive or None")
+        self.n_bins = int(n_bins)
+        self.bin_capacity = int(bin_capacity)
+        self.timeout_quads = timeout_quads
+        # tile_id -> dict(chunks=[index arrays], count, last_arrival)
+        self._bins = OrderedDict()
+        self._clock = 0  # quads inserted so far; drives the timeout rule
+        self.flush_counts = {self.FLUSH_FULL: 0, self.FLUSH_EVICT: 0,
+                             self.FLUSH_TIMEOUT: 0, self.FLUSH_FINAL: 0}
+        self.quads_inserted = 0
+
+    # ------------------------------------------------------------------
+
+    def _make_batch(self, tile_id, entry, reason):
+        self.flush_counts[reason] += 1
+        rows = (np.concatenate(entry["chunks"]) if len(entry["chunks"]) > 1
+                else entry["chunks"][0])
+        return FlushBatch(tile_id, rows, reason)
+
+    def _check_timeouts(self):
+        if self.timeout_quads is None:
+            return []
+        flushed = []
+        expired = [tile for tile, entry in self._bins.items()
+                   if self._clock - entry["last_arrival"] >= self.timeout_quads]
+        for tile in expired:
+            entry = self._bins.pop(tile)
+            flushed.append(self._make_batch(tile, entry, self.FLUSH_TIMEOUT))
+        return flushed
+
+    def insert(self, tile_id, quad_rows):
+        """Insert the quads of one (primitive, tile) group.
+
+        ``quad_rows`` is an int array of quad-table row indices, in
+        rasteriser emission order.  Returns flushed batches (possibly
+        several if the group overflows the bin capacity repeatedly).
+        """
+        quad_rows = np.asarray(quad_rows)
+        if quad_rows.ndim != 1:
+            raise ValueError("quad_rows must be a 1-D index array")
+        flushed = self._check_timeouts()
+        bins = self._bins
+        offset = 0
+        n = quad_rows.shape[0]
+        self.quads_inserted += n
+        while offset < n:
+            if tile_id not in bins:
+                if len(bins) >= self.n_bins:
+                    old_tile, old_entry = bins.popitem(last=False)
+                    flushed.append(self._make_batch(old_tile, old_entry,
+                                                    self.FLUSH_EVICT))
+                bins[tile_id] = {"chunks": [], "count": 0, "last_arrival": self._clock}
+            entry = bins[tile_id]
+            space = self.bin_capacity - entry["count"]
+            take = min(space, n - offset)
+            if take > 0:
+                entry["chunks"].append(quad_rows[offset:offset + take])
+                entry["count"] += take
+                offset += take
+                self._clock += take
+                entry["last_arrival"] = self._clock
+            if entry["count"] >= self.bin_capacity:
+                bins.pop(tile_id)
+                flushed.append(self._make_batch(tile_id, entry, self.FLUSH_FULL))
+        # Quads streaming past other tiles' bins advance their idle clocks.
+        flushed.extend(self._check_timeouts())
+        return flushed
+
+    def drain(self):
+        """Flush every residual bin in age order (end of draw)."""
+        flushed = []
+        while self._bins:
+            tile_id, entry = self._bins.popitem(last=False)
+            flushed.append(self._make_batch(tile_id, entry, self.FLUSH_FINAL))
+        return flushed
+
+    @property
+    def occupancy(self):
+        return len(self._bins)

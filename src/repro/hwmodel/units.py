@@ -1,0 +1,33 @@
+"""Small shared helpers for the hardware-unit models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Threads per warp on the modelled GPU.
+WARP_SIZE = 32
+
+#: Fragments per quad (2x2).
+QUAD_THREADS = 4
+
+#: Quads that fit in one warp.
+QUADS_PER_WARP = WARP_SIZE // QUAD_THREADS
+
+
+def ceil_div(a, b):
+    """Integer ceiling division for non-negative operands."""
+    if a < 0 or b <= 0:
+        raise ValueError(f"ceil_div requires a >= 0 and b > 0, got {a}, {b}")
+    return -(-int(a) // int(b))
+
+
+def warps_for_quads(n_quads):
+    """Warps needed to shade ``n_quads`` (8 quads of 4 threads per warp)."""
+    return ceil_div(n_quads, QUADS_PER_WARP)
+
+
+def popcount4(masks):
+    """Population count of 4-bit coverage masks (vectorised)."""
+    masks = np.asarray(masks)
+    return ((masks & 1) + ((masks >> 1) & 1)
+            + ((masks >> 2) & 1) + ((masks >> 3) & 1))

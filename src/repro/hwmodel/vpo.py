@@ -1,0 +1,37 @@
+"""Vertex Processing & Operations (VPO): assembly and tile distribution.
+
+After vertex shading, the VPO unit assembles splat quads into triangle
+primitives, computes each primitive's screen bounding box, identifies the
+intersecting screen tiles, and forwards the primitive (by Circular-Buffer
+pointer) to the raster path.  Its cost scales with primitive count and is
+never the bottleneck for splatting, but it appears in Figure 12 and its
+counters feed the utilisation report.
+"""
+
+from __future__ import annotations
+
+
+class VertexPipeline:
+    """Cycle accounting for vertex shading + VPO."""
+
+    VERTICES_PER_SPLAT = 4
+
+    def __init__(self, config, stats, shader_array):
+        self.config = config
+        self.stats = stats
+        self.shader_array = shader_array
+
+    def process_prims(self, n_prims):
+        """Account vertex shading and assembly for ``n_prims`` splats."""
+        if n_prims == 0:
+            return
+        self.shader_array.shade_vertex_batch(n_prims * self.VERTICES_PER_SPLAT)
+        self.stats.units["vpo"].add(
+            n_prims, n_prims / self.config.vpo_prims_per_cycle)
+        self.stats.n_prims += int(n_prims)
+        # Vertex attribute traffic: positions + colour via the CB region
+        # (4 vertices x 16 B position/attribute pointer payload).
+        attr_bytes = n_prims * self.VERTICES_PER_SPLAT * 16
+        self.stats.dram_bytes += attr_bytes
+        self.stats.units["dram"].add(
+            n_prims, attr_bytes / self.config.dram_bytes_per_cycle)

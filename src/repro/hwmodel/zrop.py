@@ -1,0 +1,97 @@
+"""Z/Stencil ROP with the VR-Pipe early-termination extension.
+
+Baseline ZROP performs depth/stencil tests; Gaussian splatting disables
+both, so the unit idles.  With HET enabled (Figure 13) it gains:
+
+* a **termination test unit** — when a TC bin flushes, each quad's pixels
+  are checked against the termination bit (the stencil MSB); quads whose
+  four pixels are all terminated are discarded *before fragment shading*;
+* a **termination update unit** — triggered by the CROP's alpha test when a
+  blend pushes a pixel across the threshold; it read-modify-writes the
+  stencil byte in the z-cache, setting the MSB.
+
+The per-fragment termination state is supplied by the functional core (the
+``mask_unterminated`` coverage bitmaps), which models the paper's
+fragment-granular test; this unit accounts the work and the z-cache traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hwmodel.caches import LRUCache
+
+
+class ZropUnit:
+    """Work accounting for the stencil/termination ROP stage.
+
+    Parameters
+    ----------
+    config:
+        The :class:`~repro.hwmodel.config.GPUConfig`.
+    stats:
+        The draw call's :class:`~repro.hwmodel.stats.PipelineStats`.
+    """
+
+    def __init__(self, config, stats):
+        self.config = config
+        self.stats = stats
+        self.zcache = LRUCache(config.zcache_kb * 1024,
+                               config.cache_line_bytes)
+        # One stencil byte per pixel; a 128 B line covers 128 pixels of a
+        # row, i.e. 8 screen tiles wide. Tags derive from tile rows.
+        self._stencil_bytes_per_pixel = 1
+
+    def termination_test(self, batch_masks, tile_id, width):
+        """Run the flush-time termination test on one TC batch.
+
+        ``batch_masks`` are the quads' ``mask_unterminated`` bitmaps; a quad
+        survives when any pixel is still live.  Returns the survivor mask.
+        Accounts test throughput and z-cache read traffic.
+        """
+        masks = np.asarray(batch_masks)
+        survivors = masks != 0
+        n = masks.shape[0]
+        unit = self.stats.units["zrop"]
+        unit.add(n, n / self.config.zrop_quads_per_cycle)
+        self.stats.zrop_tests += n
+        self.stats.quads_discarded_zrop += int(n - survivors.sum())
+        # Stencil reads for the tile: the whole tile's stencil footprint is
+        # a handful of lines; account one line group per flush.
+        tags = self._tile_stencil_tags(tile_id, width)
+        misses = self.zcache.access_many(tags, write=False)
+        self._account_misses(misses)
+        return survivors
+
+    def termination_updates(self, n_updates, pixel_tags=()):
+        """Account ``n_updates`` termination-bit RMWs signalled by the CROP."""
+        if n_updates < 0:
+            raise ValueError("n_updates must be >= 0")
+        unit = self.stats.units["zrop"]
+        unit.add(n_updates, n_updates * self.config.term_update_cycles)
+        self.stats.termination_updates += int(n_updates)
+        if len(pixel_tags):
+            misses = self.zcache.access_many(pixel_tags, write=True)
+            self._account_misses(misses)
+
+    # ------------------------------------------------------------------
+
+    def _tile_stencil_tags(self, tile_id, width):
+        """Line tags of a screen tile's stencil rows (1 B/pixel)."""
+        tile_px = self.config.screen_tile_px
+        tiles_x = -(-width // tile_px)
+        ty, tx = divmod(int(tile_id), tiles_x)
+        bytes_per_row = width * self._stencil_bytes_per_pixel
+        lines_per_row = max(1, -(-bytes_per_row // self.config.cache_line_bytes))
+        x_byte = tx * tile_px * self._stencil_bytes_per_pixel
+        line_in_row = x_byte // self.config.cache_line_bytes
+        base_row = ty * tile_px
+        return [((base_row + r) * lines_per_row + line_in_row)
+                for r in range(tile_px)]
+
+    def _account_misses(self, misses):
+        if misses:
+            bytes_moved = misses * self.config.cache_line_bytes
+            self.stats.dram_bytes += bytes_moved
+            self.stats.units["dram"].add(
+                misses, bytes_moved / self.config.dram_bytes_per_cycle)

@@ -1,0 +1,26 @@
+"""OpenGL-style microbenchmarks run against the hardware model (§VII-A).
+
+The paper probes real Ampere GPUs with carefully constructed draw calls to
+size the fixed-function units it must model (CROP cache capacity, ROP
+format throughput, quad granularity, TC bin count).  These modules run the
+same probing methodology against :mod:`repro.hwmodel` and confirm the model
+exhibits the measured behaviours — the reproduction's analogue of the
+authors validating Emerald against silicon.
+"""
+
+from repro.micro.workload import rect_stream, checkerboard_stream
+from repro.micro.crop_cache import probe_crop_cache_capacity
+from repro.micro.rop_throughput import (
+    pixels_per_cycle_by_format,
+    time_vs_quads_per_pixel,
+)
+from repro.micro.tile_binning import tile_binning_probe
+
+__all__ = [
+    "rect_stream",
+    "checkerboard_stream",
+    "probe_crop_cache_capacity",
+    "pixels_per_cycle_by_format",
+    "time_vs_quads_per_pixel",
+    "tile_binning_probe",
+]

@@ -1,0 +1,93 @@
+"""CROP-cache capacity probe (Figure 20a methodology).
+
+The paper draws rectangles at random positions, growing the pixel-colour
+working set until the CROP starts fetching from the L2; the largest
+no-L2-traffic working set bounds the cache capacity ("the CROP cache has
+never held more than 16 KB of data").  We run the identical experiment
+against the pipeline model: rectangles are drawn *twice* (the second draw
+re-touches every line), and the second draw's misses reveal whether the
+working set still fits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hwmodel.config import GPUConfig
+from repro.hwmodel.pipeline import GraphicsPipeline
+from repro.micro.workload import rect_stream
+
+
+def _random_rects(rng, n, rect_w, rect_h, width, height):
+    xs = rng.integers(0, max(width - rect_w, 1), size=n)
+    ys = rng.integers(0, max(height - rect_h, 1), size=n)
+    return [(int(x), int(y), rect_w, rect_h) for x, y in zip(xs, ys)]
+
+
+def working_set_fits(config, rects, width, height):
+    """True when re-drawing ``rects`` causes no further CROP-cache misses.
+
+    Issues two *separate* draw calls sharing a warm CROP cache — drawing
+    the duplicates inside one draw would let the TC bins coalesce them
+    into a single flush and mask capacity misses.
+    """
+    from repro.hwmodel.caches import LRUCache
+
+    cache = LRUCache(config.crop_cache_kb * 1024, config.cache_line_bytes)
+    pipeline = GraphicsPipeline(config)
+    pipeline.draw(rect_stream(rects, width, height), crop_cache=cache)
+    second = pipeline.draw(rect_stream(rects, width, height),
+                           crop_cache=cache)
+    return second.stats.crop_cache_misses == 0
+
+
+def _distinct_lines(rects, config, width):
+    """Colour-buffer lines a rect set touches, at quad granularity.
+
+    ROPs operate on 2x2 quads, so a rectangle's footprint rounds out to
+    even pixel boundaries — a rect starting on an odd row drags in the
+    quad's other row's cache line too, exactly as the pipeline model (and
+    hardware) fetches it.
+    """
+    bpp = config.bytes_per_pixel
+    line_bytes = config.cache_line_bytes
+    lines_per_row = max(1, -(-(width * bpp) // line_bytes))
+    tags = set()
+    for x0, y0, w, h in rects:
+        qy0, qy1 = y0 // 2, (y0 + h - 1) // 2
+        qx0, qx1 = x0 // 2, (x0 + w - 1) // 2
+        for qy in range(qy0, qy1 + 1):
+            for qx in range(qx0, qx1 + 1):
+                line = (qx * 2 * bpp) // line_bytes
+                tags.add((qy * 2) * lines_per_row + line)
+                tags.add((qy * 2 + 1) * lines_per_row + line)
+    return len(tags)
+
+
+def probe_crop_cache_capacity(rect_w, rect_h, config=None, width=512,
+                              height=512, seed=0, max_rects=128, trials=3):
+    """Largest random-placement working set (bytes) with no L2 traffic.
+
+    Mirrors Figure 20(a): for the given rectangle size, add rectangles at
+    random positions until re-draws start missing; report the largest data
+    size that still fit, worst-case over ``trials`` random layouts (the
+    figure's scatter comes from placement-dependent line sharing).
+    """
+    config = config or GPUConfig()
+    if rect_w <= 0 or rect_h <= 0:
+        raise ValueError("rectangle dimensions must be positive")
+    worst_fit_bytes = None
+    for trial in range(trials):
+        rng = np.random.default_rng(seed + trial)
+        rects = []
+        fit_bytes = 0
+        for _n in range(1, max_rects + 1):
+            rects.extend(_random_rects(rng, 1, rect_w, rect_h, width, height))
+            if working_set_fits(config, rects, width, height):
+                fit_bytes = (_distinct_lines(rects, config, width)
+                             * config.cache_line_bytes)
+            else:
+                break
+        if worst_fit_bytes is None or fit_bytes < worst_fit_bytes:
+            worst_fit_bytes = fit_bytes
+    return worst_fit_bytes

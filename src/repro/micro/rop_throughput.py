@@ -1,0 +1,69 @@
+"""ROP throughput probes: Figures 20(b) and 20(c).
+
+* ``pixels_per_cycle_by_format`` — draw the same pixel count in RGBA8 and
+  RGBA16F and measure CROP pixels/cycle: RGBA8 should double RGBA16F
+  because the CROP cache read bandwidth, not the ROP count, limits blending.
+* ``time_vs_quads_per_pixel`` — keep the blended *pixel* count constant but
+  split it across ever more partially-covered quads: because four ROP units
+  cooperate on one 2x2 quad, time should scale with quads, demonstrating
+  quad-granular operation.
+"""
+
+from __future__ import annotations
+
+from repro.hwmodel.config import GPUConfig
+from repro.hwmodel.pipeline import GraphicsPipeline
+from repro.micro.workload import checkerboard_stream, rect_stream
+
+
+def pixels_per_cycle_by_format(config=None, width=256, height=256, layers=8):
+    """CROP pixels/cycle for RGBA16F vs RGBA8 (Figure 20b).
+
+    Draws ``layers`` full-screen rectangles (each pixel blended ``layers``
+    times) and divides blended pixels by CROP busy cycles.
+    """
+    config = config or GPUConfig()
+    rects = [(0, 0, width, height)] * layers
+    out = {}
+    for fmt in ("rgba16f", "rgba8"):
+        cfg = config.variant(color_format=fmt)
+        stream = rect_stream(rects, width, height)
+        result = GraphicsPipeline(cfg).draw(stream)
+        crop = result.stats.units["crop"]
+        if crop.busy_cycles <= 0:
+            raise RuntimeError("CROP recorded no busy cycles")
+        out[fmt] = result.stats.fragments_blended / crop.busy_cycles
+    return out
+
+
+def time_vs_quads_per_pixel(config=None, width=128, height=128,
+                            quad_layers=(4, 8, 16), total_pixel_layers=4):
+    """Normalised render time vs quads per blended pixel (Figure 20c).
+
+    Every configuration blends the same number of *pixels*
+    (``total_pixel_layers`` full-screen layers' worth), but spreads them
+    over ``q`` quad layers with ``4 * total_pixel_layers / q`` live
+    fragments per quad — the paper's x-axis "quads per pixel" is
+    ``q / (4 * total_pixel_layers)`` (0.25 = fully covered quads, 1.0 = one
+    live fragment per quad).  Because ROPs work at quad granularity, time
+    should track quads, not pixels: the defaults yield 1x, 2x, 4x.
+
+    ``q`` must satisfy ``q >= total_pixel_layers`` and divide
+    ``4 * total_pixel_layers`` evenly; infeasible entries are skipped.
+    """
+    config = config or GPUConfig()
+    times = {}
+    for q in quad_layers:
+        total_frag_slots = 4 * total_pixel_layers
+        if q < total_pixel_layers or total_frag_slots % q:
+            continue
+        live = total_frag_slots // q
+        stream = checkerboard_stream(width, height, quads_per_pixel=q,
+                                     live_per_quad=live)
+        result = GraphicsPipeline(config).draw(stream)
+        quads_per_pixel = q / total_frag_slots
+        times[quads_per_pixel] = result.stats.units["crop"].busy_cycles
+    if not times:
+        raise ValueError("no feasible quad_layers configuration")
+    densest = times[min(times)]
+    return {qpp: t / densest for qpp, t in sorted(times.items())}

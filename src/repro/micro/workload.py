@@ -1,0 +1,119 @@
+"""Synthetic rectangle workloads for microbenchmarking the pipeline model.
+
+The paper's microbenchmarks "render rectangles or triangles by adjusting
+various parameters, including positions, color formats, the number of
+involved screen tiles and rectangle overlaps" (§VII-A).  These builders
+construct the equivalent :class:`FragmentStream` directly — every pixel of
+each rectangle becomes one opaque-ish fragment — so the pipeline model can
+be probed without involving Gaussians at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.render.fragstream import FragmentStream
+
+#: Alpha assigned to microbenchmark fragments: opaque enough to always
+#: survive pruning, below the 0.99 cap.
+RECT_ALPHA = 0.95
+
+
+def rect_stream(rects, width, height, alpha=RECT_ALPHA, colors=None):
+    """Build a fragment stream from axis-aligned rectangles.
+
+    Parameters
+    ----------
+    rects:
+        Sequence of ``(x0, y0, w, h)`` in pixels; each rectangle is one
+        primitive, emitted in order.
+    width, height:
+        Framebuffer size.
+    alpha:
+        Per-fragment alpha (scalar or one per rectangle).
+    colors:
+        Optional ``(n, 3)`` per-rectangle colours; defaults to distinct
+        hashed colours, mirroring the paper's trick of hashing colours to
+        defeat colour compression.
+    """
+    rects = list(rects)
+    n = len(rects)
+    alphas_in = np.broadcast_to(np.asarray(alpha, dtype=np.float64), (n,))
+    if colors is None:
+        idx = np.arange(n)
+        colors = np.stack([(idx * 37 % 251) / 251.0,
+                           (idx * 101 % 251) / 251.0,
+                           (idx * 193 % 251) / 251.0], axis=1)
+    prim_chunks, x_chunks, y_chunks, a_chunks = [], [], [], []
+    for i, (x0, y0, w, h) in enumerate(rects):
+        if w <= 0 or h <= 0:
+            raise ValueError(f"rectangle {i} has non-positive size ({w}x{h})")
+        x1 = min(int(x0) + int(w), width)
+        y1 = min(int(y0) + int(h), height)
+        x0 = max(int(x0), 0)
+        y0 = max(int(y0), 0)
+        if x1 <= x0 or y1 <= y0:
+            continue
+        gx, gy = np.meshgrid(np.arange(x0, x1, dtype=np.int32),
+                             np.arange(y0, y1, dtype=np.int32))
+        count = gx.size
+        prim_chunks.append(np.full(count, i, dtype=np.int32))
+        x_chunks.append(gx.ravel())
+        y_chunks.append(gy.ravel())
+        a_chunks.append(np.full(count, alphas_in[i], dtype=np.float32))
+    if not prim_chunks:
+        return FragmentStream(
+            np.empty(0, np.int32), np.empty(0, np.int32),
+            np.empty(0, np.int32), np.empty(0, np.float32),
+            np.asarray(colors, dtype=np.float64).reshape(n, 3),
+            width, height)
+    return FragmentStream(
+        prim_ids=np.concatenate(prim_chunks),
+        x=np.concatenate(x_chunks),
+        y=np.concatenate(y_chunks),
+        alphas=np.concatenate(a_chunks),
+        prim_colors=np.asarray(colors, dtype=np.float64).reshape(n, 3),
+        width=width,
+        height=height,
+    )
+
+
+def checkerboard_stream(width, height, quads_per_pixel, live_per_quad=4,
+                        alpha=RECT_ALPHA):
+    """Layers of full-screen coverage with partially-discarded quads.
+
+    Used by the Figure 20(c) probe: every 2x2 quad keeps ``live_per_quad``
+    of its four fragments (the paper controls this with a stencil test and
+    primitive shapes); ``quads_per_pixel`` layers are drawn.  Because ROPs
+    operate at quad granularity, rendering time should track the quad count
+    rather than the live-fragment count.
+    """
+    if not 1 <= live_per_quad <= 4:
+        raise ValueError("live_per_quad must be in 1..4")
+    if quads_per_pixel < 1:
+        raise ValueError("quads_per_pixel must be >= 1")
+    keep_offsets = [(0, 0), (1, 1), (1, 0), (0, 1)][:live_per_quad]
+    prim_chunks, x_chunks, y_chunks = [], [], []
+    qx, qy = np.meshgrid(np.arange(width // 2), np.arange(height // 2))
+    for layer in range(quads_per_pixel):
+        xs, ys = [], []
+        for dx, dy in keep_offsets:
+            xs.append((qx * 2 + dx).ravel())
+            ys.append((qy * 2 + dy).ravel())
+        x = np.concatenate(xs).astype(np.int32)
+        y = np.concatenate(ys).astype(np.int32)
+        prim_chunks.append(np.full(x.size, layer, dtype=np.int32))
+        x_chunks.append(x)
+        y_chunks.append(y)
+    n = quads_per_pixel
+    colors = np.stack([np.linspace(0.1, 0.9, n)] * 3, axis=1)
+    x = np.concatenate(x_chunks)
+    return FragmentStream(
+        prim_ids=np.concatenate(prim_chunks),
+        x=x,
+        y=np.concatenate(y_chunks),
+        alphas=np.full(x.size, alpha, dtype=np.float32),
+        prim_colors=colors,
+        width=width,
+        height=height,
+    )

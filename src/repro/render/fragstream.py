@@ -1,0 +1,430 @@
+"""FragmentStream: the canonical fragment-level view of a draw call.
+
+Every simulator in the library (reference renderer, CUDA-style software
+renderer, hardware pipeline, VR-Pipe variants) consumes the same stream of
+fragments produced by :func:`repro.render.splat_raster.rasterize_splats`.
+The stream knows, for every fragment:
+
+* its *arrival accumulated alpha* — the pixel's accumulated alpha at the
+  moment the fragment would be blended (fragments are ordered front-to-back
+  per pixel because splats are depth sorted), which defines perfect
+  fragment-level early termination;
+* whether it is *pruned* (alpha < 1/255, discarded in the fragment shader);
+* its 2x2 quad, screen tile (16x16 px) and tile grid (64x64 px) membership.
+
+All heavy quantities are computed lazily and cached.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.arrays import segment_boundaries, segmented_cumsum
+
+#: Default early-termination threshold on accumulated alpha (paper: 0.996).
+DEFAULT_TERMINATION_ALPHA = 0.996
+
+#: Alpha-pruning threshold (1/255), as in the paper's fragment shader.
+PRUNE_EPS = 1.0 / 255.0
+
+#: Fixed-function geometry of the modelled GPU (Section II / Table I).
+QUAD_SIZE = 2
+TILE_SIZE = 16
+TILE_GRID_TILES = 4  # a tile grid is 4x4 screen tiles = 64x64 pixels
+QUADS_PER_TILE_AXIS = TILE_SIZE // QUAD_SIZE  # 8 -> 64 quad positions/tile
+
+
+class FragmentStream:
+    """Fragments of one draw call, in primitive-major emission order.
+
+    Parameters
+    ----------
+    prim_ids:
+        ``(n,)`` int32 index of the emitting splat (ascending in draw order).
+    x, y:
+        ``(n,)`` int32 pixel coordinates.
+    alphas:
+        ``(n,)`` float32 fragment alphas (already capped at 0.99).
+    prim_colors:
+        ``(n_prims, 3)`` RGB per primitive (fragments share their splat's
+        colour, as in the paper's vertex-colour scheme).
+    width, height:
+        Framebuffer dimensions.
+    """
+
+    def __init__(self, prim_ids, x, y, alphas, prim_colors, width, height):
+        self.prim_ids = np.asarray(prim_ids, dtype=np.int32)
+        self.x = np.asarray(x, dtype=np.int32)
+        self.y = np.asarray(y, dtype=np.int32)
+        self.alphas = np.asarray(alphas, dtype=np.float32)
+        self.prim_colors = np.asarray(prim_colors, dtype=np.float64)
+        self.width = int(width)
+        self.height = int(height)
+        n = self.prim_ids.shape[0]
+        for name, arr in (("x", self.x), ("y", self.y), ("alphas", self.alphas)):
+            if arr.shape != (n,):
+                raise ValueError(f"{name} must have shape ({n},), got {arr.shape}")
+        if n and (self.prim_ids.min() < 0
+                  or self.prim_ids.max() >= self.prim_colors.shape[0]):
+            raise ValueError("prim_ids reference colours out of range")
+        if n and ((self.x.min() < 0) or (self.x.max() >= self.width)
+                  or (self.y.min() < 0) or (self.y.max() >= self.height)):
+            raise ValueError("fragment coordinates fall outside the framebuffer")
+        self._cache = {}
+
+    # ------------------------------------------------------------------
+    # Basic derived arrays
+    # ------------------------------------------------------------------
+
+    def __len__(self):
+        return self.prim_ids.shape[0]
+
+    @property
+    def n_fragments(self):
+        return len(self)
+
+    @property
+    def n_pixels(self):
+        return self.width * self.height
+
+    @property
+    def pixel_ids(self):
+        """``y * width + x`` per fragment."""
+        if "pixel_ids" not in self._cache:
+            self._cache["pixel_ids"] = (
+                self.y.astype(np.int64) * self.width + self.x)
+        return self._cache["pixel_ids"]
+
+    @property
+    def unpruned(self):
+        """Mask of fragments surviving alpha pruning (alpha >= 1/255)."""
+        if "unpruned" not in self._cache:
+            self._cache["unpruned"] = self.alphas >= PRUNE_EPS
+        return self._cache["unpruned"]
+
+    @property
+    def _pixel_order(self):
+        """Indices lexsorting fragments by (pixel, draw order)."""
+        if "pixel_order" not in self._cache:
+            self._cache["pixel_order"] = np.lexsort(
+                (self.prim_ids, self.pixel_ids))
+        return self._cache["pixel_order"]
+
+    @property
+    def arrival_alpha(self):
+        """Per-fragment accumulated pixel alpha at the fragment's arrival.
+
+        For fragment ``i`` of pixel ``p`` this is
+        ``1 - prod_{j earlier unpruned at p} (1 - alpha_j)``; pruned
+        fragments contribute nothing but still *have* an arrival state.
+        This quantity decides perfect fragment-level early termination:
+        a fragment is blended iff it is unpruned and
+        ``arrival_alpha < threshold``.
+        """
+        if "arrival_alpha" not in self._cache:
+            order = self._pixel_order
+            pix_sorted = self.pixel_ids[order]
+            alpha_eff = np.where(self.unpruned, self.alphas, 0.0)[order]
+            alpha_eff = alpha_eff.astype(np.float64)
+            starts = segment_boundaries(pix_sorted)
+            logs = np.log(np.maximum(1.0 - alpha_eff, 1e-30))
+            inclusive = segmented_cumsum(logs, pix_sorted, starts=starts)
+            exclusive_log_t = inclusive - logs
+            arrival_sorted = 1.0 - np.exp(exclusive_log_t)
+            arrival = np.empty(len(self), dtype=np.float64)
+            arrival[order] = arrival_sorted
+            self._cache["arrival_alpha"] = arrival
+        return self._cache["arrival_alpha"]
+
+    def et_survivor_mask(self, threshold=DEFAULT_TERMINATION_ALPHA):
+        """Fragments blended under perfect early termination.
+
+        A fragment is blended iff it survives alpha pruning *and* its pixel
+        had not yet reached the termination threshold when it arrived.
+        """
+        key = ("et_survivor", round(float(threshold), 9))
+        if key not in self._cache:
+            self._cache[key] = self.unpruned & (self.arrival_alpha < threshold)
+        return self._cache[key]
+
+    def unterminated_on_arrival(self, threshold=DEFAULT_TERMINATION_ALPHA,
+                                lag=0):
+        """Fragments (pruned or not) arriving before their pixel terminated.
+
+        This is what the ZROP termination *test* sees: it runs before
+        shading, so pruning is invisible to it.
+
+        ``lag`` models the in-flight window of hardware early termination:
+        the blend that crosses the threshold, the alpha-test signal, and the
+        stencil update all take time, during which the next ``lag``
+        fragments of the pixel still pass the test.  ``lag=0`` is the
+        perfect fragment-granular bound.
+        """
+        key = ("unterminated", round(float(threshold), 9), int(lag))
+        if key not in self._cache:
+            if lag == 0:
+                self._cache[key] = self.arrival_alpha < threshold
+            else:
+                rank, term_rank = self._pixel_ranks(threshold)
+                self._cache[key] = rank < term_rank[self.pixel_ids] + int(lag)
+        return self._cache[key]
+
+    def het_blended_mask(self, threshold=DEFAULT_TERMINATION_ALPHA, lag=0):
+        """Fragments the hardware actually blends under HET with ``lag``.
+
+        Superset of :meth:`et_survivor_mask` when ``lag > 0`` (late kills
+        mean extra blends); the extra blends only push accumulated alpha
+        past the threshold, so the image error stays bounded by
+        ``1 - threshold``.
+        """
+        key = ("het_blended", round(float(threshold), 9), int(lag))
+        if key not in self._cache:
+            self._cache[key] = (self.unpruned
+                                & self.unterminated_on_arrival(threshold, lag))
+        return self._cache[key]
+
+    def _pixel_ranks(self, threshold):
+        """Per-fragment rank within its pixel and per-pixel termination rank.
+
+        The termination rank is the rank of the first fragment arriving
+        with accumulated alpha already at/above the threshold (i.e. the first
+        one perfect HET would kill); pixels that never terminate get a rank
+        beyond any fragment count.
+        """
+        key = ("pixel_ranks", round(float(threshold), 9))
+        if key not in self._cache:
+            order = self._pixel_order
+            pix_sorted = self.pixel_ids[order]
+            starts = segment_boundaries(pix_sorted)
+            lengths = np.diff(np.concatenate((starts, [len(self)])))
+            local = np.arange(len(self), dtype=np.int64) - np.repeat(starts, lengths)
+            rank = np.empty(len(self), dtype=np.int64)
+            rank[order] = local
+            sentinel = np.int64(len(self) + 1)
+            term_rank = np.full(self.n_pixels, sentinel, dtype=np.int64)
+            terminated = self.arrival_alpha >= threshold
+            if terminated.any():
+                np.minimum.at(term_rank, self.pixel_ids[terminated],
+                              rank[terminated])
+            self._cache[key] = (rank, term_rank)
+        return self._cache[key]
+
+    # ------------------------------------------------------------------
+    # Images and per-pixel statistics
+    # ------------------------------------------------------------------
+
+    def blend_image(self, early_term=False, threshold=DEFAULT_TERMINATION_ALPHA):
+        """Front-to-back blend to an image.
+
+        Returns ``(image, alpha_map)`` with ``image`` shaped ``(h, w, 3)``
+        and ``alpha_map`` ``(h, w)``.  With ``early_term`` the blend stops
+        once a pixel's accumulated alpha reaches ``threshold`` (identical to
+        the reference otherwise).
+        """
+        blended = self.et_survivor_mask(threshold) if early_term else self.unpruned
+        transmittance = 1.0 - self.arrival_alpha
+        weights = transmittance * self.alphas.astype(np.float64)
+        weights = np.where(blended, weights, 0.0)
+        pix = self.pixel_ids
+        image = np.zeros((self.n_pixels, 3), dtype=np.float64)
+        colors = self.prim_colors[self.prim_ids]
+        for channel in range(3):
+            image[:, channel] = np.bincount(
+                pix, weights=weights * colors[:, channel],
+                minlength=self.n_pixels)
+        alpha_map = np.bincount(pix, weights=weights, minlength=self.n_pixels)
+        return (image.reshape(self.height, self.width, 3),
+                alpha_map.reshape(self.height, self.width))
+
+    def fragments_per_pixel(self, kind="unpruned",
+                            threshold=DEFAULT_TERMINATION_ALPHA):
+        """Per-pixel fragment counts as an ``(h, w)`` int64 map.
+
+        ``kind`` selects which fragments count:
+
+        * ``"all"`` — every rasterised fragment;
+        * ``"unpruned"`` — fragments blended without early termination
+          (Figure 7 left);
+        * ``"early_term"`` — fragments blended with perfect early
+          termination (Figure 7 right).
+        """
+        if kind == "all":
+            mask = None
+        elif kind == "unpruned":
+            mask = self.unpruned
+        elif kind == "early_term":
+            mask = self.et_survivor_mask(threshold)
+        else:
+            raise ValueError(f"unknown kind {kind!r}")
+        pix = self.pixel_ids if mask is None else self.pixel_ids[mask]
+        counts = np.bincount(pix, minlength=self.n_pixels)
+        return counts.reshape(self.height, self.width)
+
+    def termination_ratio(self, threshold=DEFAULT_TERMINATION_ALPHA):
+        """Blended fragments without ET divided by blended with ET.
+
+        This is the paper's "early termination ratio" (Figure 21); >= 1 by
+        construction, and 1.0 when no pixel ever saturates.
+        """
+        with_et = int(self.et_survivor_mask(threshold).sum())
+        without_et = int(self.unpruned.sum())
+        if with_et == 0:
+            return 1.0
+        return without_et / with_et
+
+    # ------------------------------------------------------------------
+    # Quad / tile structure
+    # ------------------------------------------------------------------
+
+    def quad_table(self, threshold=DEFAULT_TERMINATION_ALPHA, lag=0):
+        """Aggregate fragments into 2x2 quads (see :class:`QuadTable`).
+
+        ``lag`` selects the HET in-flight window baked into the table's
+        termination masks (see :meth:`unterminated_on_arrival`).
+        """
+        key = ("quad_table", round(float(threshold), 9), int(lag))
+        if key not in self._cache:
+            self._cache[key] = QuadTable.from_stream(self, threshold, lag)
+        return self._cache[key]
+
+
+class QuadTable:
+    """Per-quad aggregation of a fragment stream.
+
+    The hardware pipeline operates on 2x2-fragment quads from fine raster
+    onward; this table is the quad-granular view every hardware model uses.
+    Rows are sorted by ``(prim_id, tile_id, qpos)`` — the order in which the
+    rasteriser emits them.
+
+    Attributes (parallel arrays, one row per quad)
+    ----------------------------------------------
+    prim_ids:        emitting primitive.
+    qx, qy:          global quad coordinates (pixel // 2).
+    tile_ids:        screen-tile index (16x16 px tiles, row-major).
+    grid_ids:        tile-grid index (4x4 tiles = 64x64 px, row-major).
+    qpos:            quad position within its tile, 0..63.
+    n_fragments:     covered pixels in the quad (1..4).
+    n_unpruned:      fragments passing alpha pruning (blended by baseline).
+    n_et_blended:    fragments blended under HET with the table's lag
+                     (== perfect early termination when ``lag == 0``).
+    n_unterminated:  fragments arriving before pixel termination + lag
+                     (what the ZROP termination test sees — pruning
+                     invisible).
+    mask_unpruned:   4-bit coverage bitmap of unpruned fragments (bit index
+                     ``(y & 1) * 2 + (x & 1)``), for exact union counting
+                     when two quads merge.
+    mask_et:         coverage bitmap of early-termination-blended fragments.
+    mask_unterminated: coverage bitmap of fragments arriving unterminated.
+    """
+
+    def __init__(self, prim_ids, qx, qy, tile_ids, grid_ids, qpos,
+                 n_fragments, n_unpruned, n_et_blended, n_unterminated,
+                 mask_unpruned, mask_et, mask_unterminated,
+                 width, height, threshold):
+        self.prim_ids = prim_ids
+        self.qx = qx
+        self.qy = qy
+        self.tile_ids = tile_ids
+        self.grid_ids = grid_ids
+        self.qpos = qpos
+        self.n_fragments = n_fragments
+        self.n_unpruned = n_unpruned
+        self.n_et_blended = n_et_blended
+        self.n_unterminated = n_unterminated
+        self.mask_unpruned = mask_unpruned
+        self.mask_et = mask_et
+        self.mask_unterminated = mask_unterminated
+        self.width = width
+        self.height = height
+        self.threshold = threshold
+
+    def __len__(self):
+        return self.prim_ids.shape[0]
+
+    @classmethod
+    def from_stream(cls, stream, threshold=DEFAULT_TERMINATION_ALPHA, lag=0):
+        """Build the table from a :class:`FragmentStream`.
+
+        ``lag`` is the HET in-flight window (fragments per pixel that still
+        pass the termination test after the threshold crossing).
+        """
+        n = len(stream)
+        width, height = stream.width, stream.height
+        tiles_x = -(-width // TILE_SIZE)
+        grids_x = -(-tiles_x // TILE_GRID_TILES)
+        if n == 0:
+            empty_i = np.empty(0, dtype=np.int64)
+            return cls(empty_i, empty_i, empty_i, empty_i, empty_i, empty_i,
+                       empty_i, empty_i, empty_i, empty_i,
+                       empty_i, empty_i, empty_i,
+                       width, height, threshold)
+
+        qx = (stream.x // QUAD_SIZE).astype(np.int64)
+        qy = (stream.y // QUAD_SIZE).astype(np.int64)
+        quads_x = -(-width // QUAD_SIZE)
+        quad_key = (stream.prim_ids.astype(np.int64) * (quads_x * -(-height // QUAD_SIZE))
+                    + qy * quads_x + qx)
+        order = np.argsort(quad_key, kind="stable")
+        sorted_key = quad_key[order]
+        starts = segment_boundaries(sorted_key)
+
+        unpruned = stream.unpruned[order].astype(np.int64)
+        et_blended = stream.het_blended_mask(threshold, lag)[order].astype(np.int64)
+        unterminated = stream.unterminated_on_arrival(
+            threshold, lag)[order].astype(np.int64)
+        ones = np.ones(n, dtype=np.int64)
+
+        n_fragments = np.add.reduceat(ones, starts)
+        n_unpruned = np.add.reduceat(unpruned, starts)
+        n_et = np.add.reduceat(et_blended, starts)
+        n_unterm = np.add.reduceat(unterminated, starts)
+
+        # Coverage bitmaps: bit (y & 1) * 2 + (x & 1) per covered fragment.
+        bit = np.left_shift(
+            1, ((stream.y[order] & 1) * 2 + (stream.x[order] & 1)).astype(np.int64))
+        mask_unpruned = np.bitwise_or.reduceat(bit * unpruned, starts)
+        mask_et = np.bitwise_or.reduceat(bit * et_blended, starts)
+        mask_unterm = np.bitwise_or.reduceat(bit * unterminated, starts)
+
+        q_prim = stream.prim_ids[order][starts].astype(np.int64)
+        q_qx = qx[order][starts]
+        q_qy = qy[order][starts]
+        tile_x = q_qx // QUADS_PER_TILE_AXIS
+        tile_y = q_qy // QUADS_PER_TILE_AXIS
+        tile_ids = tile_y * tiles_x + tile_x
+        grid_ids = (tile_y // TILE_GRID_TILES) * grids_x + (tile_x // TILE_GRID_TILES)
+        qpos = ((q_qy % QUADS_PER_TILE_AXIS) * QUADS_PER_TILE_AXIS
+                + (q_qx % QUADS_PER_TILE_AXIS))
+
+        # Emission order: primitive-major, then tile, then quad position.
+        emit = np.lexsort((qpos, tile_ids, q_prim))
+        return cls(
+            prim_ids=q_prim[emit], qx=q_qx[emit], qy=q_qy[emit],
+            tile_ids=tile_ids[emit], grid_ids=grid_ids[emit],
+            qpos=qpos[emit],
+            n_fragments=n_fragments[emit], n_unpruned=n_unpruned[emit],
+            n_et_blended=n_et[emit], n_unterminated=n_unterm[emit],
+            mask_unpruned=mask_unpruned[emit], mask_et=mask_et[emit],
+            mask_unterminated=mask_unterm[emit],
+            width=width, height=height, threshold=threshold,
+        )
+
+    # Convenience aggregates used by the experiments -------------------
+
+    def quads_blended_baseline(self):
+        """Quads the baseline CROP blends (>= 1 unpruned fragment)."""
+        return int((self.n_unpruned > 0).sum())
+
+    def quads_blended_het(self):
+        """Quads surviving both the ZROP termination test and pruning."""
+        return int((self.n_et_blended > 0).sum())
+
+    def quads_passing_zrop(self):
+        """Quads with >= 1 fragment arriving before pixel termination."""
+        return int((self.n_unterminated > 0).sum())
+
+    def fragments_blended_baseline(self):
+        return int(self.n_unpruned.sum())
+
+    def fragments_blended_het(self):
+        return int(self.n_et_blended.sum())

@@ -1,0 +1,50 @@
+"""Minimal image output (binary PPM) with no third-party dependencies.
+
+Examples save rendered frames for visual inspection; PPM keeps the library
+dependency-free (any viewer and most converters read it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def to_uint8(image, gamma=2.2):
+    """Convert a float HDR image (premultiplied composite) to uint8 sRGB-ish.
+
+    Values are clamped to [0, 1] and gamma-encoded.
+    """
+    image = np.asarray(image, dtype=np.float64)
+    if gamma <= 0:
+        raise ValueError(f"gamma must be positive, got {gamma}")
+    clamped = np.clip(image, 0.0, 1.0)
+    encoded = clamped ** (1.0 / gamma)
+    return (encoded * 255.0 + 0.5).astype(np.uint8)
+
+
+def write_ppm(path, image, gamma=2.2):
+    """Write an ``(h, w, 3)`` float image to a binary PPM file."""
+    image = np.asarray(image)
+    if image.ndim != 3 or image.shape[2] != 3:
+        raise ValueError(f"image must be (h, w, 3), got {image.shape}")
+    data = to_uint8(image, gamma=gamma)
+    height, width = data.shape[:2]
+    with open(path, "wb") as handle:
+        handle.write(f"P6\n{width} {height}\n255\n".encode("ascii"))
+        handle.write(data.tobytes())
+    return path
+
+
+def read_ppm(path):
+    """Read a binary PPM written by :func:`write_ppm`; returns uint8 array."""
+    with open(path, "rb") as handle:
+        magic = handle.readline().strip()
+        if magic != b"P6":
+            raise ValueError(f"not a binary PPM file: {path}")
+        dims = handle.readline().split()
+        width, height = int(dims[0]), int(dims[1])
+        maxval = int(handle.readline())
+        if maxval != 255:
+            raise ValueError(f"unsupported max value {maxval}")
+        data = handle.read(width * height * 3)
+    return np.frombuffer(data, dtype=np.uint8).reshape(height, width, 3)

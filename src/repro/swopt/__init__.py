@@ -1,0 +1,23 @@
+"""Software-only optimisations on the hardware pipeline (Section IV).
+
+The paper evaluates two API-level attempts to fix volume rendering on
+unmodified hardware and shows both fall short — motivating VR-Pipe:
+
+* :mod:`repro.swopt.inshader` — pixel blending inside the fragment shader
+  using the fragment-shader-interlock extension (Figure 10): correct but
+  several times slower than ROP blending due to lock overhead.
+* :mod:`repro.swopt.multipass` — Algorithm 1's N-pass rendering with a
+  stencil-based early-termination check between passes (Figure 11): modest
+  gains on large scenes, losses elsewhere, and a scene-dependent optimal N.
+"""
+
+from repro.swopt.inshader import InShaderModel, inshader_comparison
+from repro.swopt.multipass import MultipassResult, run_multipass, multipass_sweep
+
+__all__ = [
+    "InShaderModel",
+    "inshader_comparison",
+    "MultipassResult",
+    "run_multipass",
+    "multipass_sweep",
+]

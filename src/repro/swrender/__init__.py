@@ -1,0 +1,26 @@
+"""Software (CUDA-style) Gaussian splatting renderer model.
+
+This is the paper's comparison baseline (Section III-A): the 3DGS reference
+renderer implemented as CUDA kernels — per-tile Gaussian duplication and
+sorting in preprocessing, then one thread block per 16x16 screen tile whose
+warps march the tile's depth-sorted Gaussian list in lockstep, blending in
+registers.  The model reproduces the baseline's two structural costs:
+
+* preprocessing/sorting scale with *duplicated* (Gaussian, tile) pairs;
+* lockstep warps keep executing until every one of their 32 pixels has
+  terminated, so early termination under-delivers (Figures 8 and 9).
+"""
+
+from repro.swrender.tiling import TileAssignment, assign_tiles
+from repro.swrender.warp_model import WarpExecution, simulate_tile_warps
+from repro.swrender.renderer import CudaRenderer, CudaRenderTiming, SWKernelModel
+
+__all__ = [
+    "TileAssignment",
+    "assign_tiles",
+    "WarpExecution",
+    "simulate_tile_warps",
+    "CudaRenderer",
+    "CudaRenderTiming",
+    "SWKernelModel",
+]

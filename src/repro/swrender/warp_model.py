@@ -1,0 +1,134 @@
+"""Lockstep warp execution of the CUDA tile renderer.
+
+One thread block (256 threads = 8 warps) renders each 16x16 tile; each
+thread owns one pixel, and all threads iterate the tile's depth-sorted
+Gaussian list together.  A warp may stop early only when *all 32* of its
+pixels have terminated, so "even if only one thread (pixel) in a warp is not
+terminated, all other threads in the warp still ineffectively consume shader
+cores" (Section III-B).  This module computes, from the shared fragment
+stream:
+
+* per-warp executed rounds, with and without early termination
+  (the CUDA rasterise-time driver, Figure 8);
+* the fraction of executed thread-slots that perform blending
+  (Figure 9's "threads performing blending in a warp").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.render.fragstream import (
+    DEFAULT_TERMINATION_ALPHA,
+    FragmentStream,
+)
+
+TILE_SIZE = 16
+WARP_ROWS = 2           # a warp covers a 16x2-pixel strip of the tile
+WARPS_PER_TILE = TILE_SIZE // WARP_ROWS
+WARP_THREADS = 32
+
+
+class WarpExecution:
+    """Aggregate lockstep-execution statistics for one draw.
+
+    Attributes
+    ----------
+    rounds_no_et:
+        Total warp-rounds executed without early termination.
+    rounds_et:
+        Total warp-rounds with early termination (warp exits once all its
+        pixels are done).
+    blend_ops_no_et / blend_ops_et:
+        Thread-slots that performed a blend in each mode.
+    """
+
+    def __init__(self, rounds_no_et, rounds_et, blend_ops_no_et, blend_ops_et):
+        self.rounds_no_et = int(rounds_no_et)
+        self.rounds_et = int(rounds_et)
+        self.blend_ops_no_et = int(blend_ops_no_et)
+        self.blend_ops_et = int(blend_ops_et)
+
+    def et_speedup(self):
+        """Rasterise-time speedup from early termination (Figure 8)."""
+        if self.rounds_et == 0:
+            return 1.0
+        return self.rounds_no_et / self.rounds_et
+
+    def blending_thread_fraction(self, early_term=True):
+        """Fraction of executed thread-slots doing useful blending (Fig. 9)."""
+        rounds = self.rounds_et if early_term else self.rounds_no_et
+        ops = self.blend_ops_et if early_term else self.blend_ops_no_et
+        slots = rounds * WARP_THREADS
+        if slots == 0:
+            return 0.0
+        return ops / slots
+
+
+def simulate_tile_warps(stream, threshold=DEFAULT_TERMINATION_ALPHA):
+    """Run the lockstep model over a fragment stream.
+
+    The stream's primitive order is the global depth order, which is also
+    each tile's processing order (the CUDA renderer sorts by (tile | depth)
+    keys, yielding per-tile depth-sorted lists).
+    """
+    if not isinstance(stream, FragmentStream):
+        raise TypeError(
+            f"stream must be a FragmentStream, got {type(stream).__name__}")
+    if len(stream) == 0:
+        return WarpExecution(0, 0, 0, 0)
+
+    width, height = stream.width, stream.height
+    tiles_x = -(-width // TILE_SIZE)
+    tiles_y = -(-height // TILE_SIZE)
+    n_tiles = tiles_x * tiles_y
+
+    tile_of_frag = ((stream.y // TILE_SIZE).astype(np.int64) * tiles_x
+                    + stream.x // TILE_SIZE)
+
+    # Round index of each fragment: rank of its primitive within its tile's
+    # depth-ordered Gaussian list == rank of the (tile, prim) pair among the
+    # tile's unique pairs.
+    n_prims = stream.prim_colors.shape[0]
+    pair_key = tile_of_frag * n_prims + stream.prim_ids
+    unique_pairs, frag_pair_idx = np.unique(pair_key, return_inverse=True)
+    pair_tile = unique_pairs // n_prims
+    tile_pair_starts = np.zeros(n_tiles + 1, dtype=np.int64)
+    counts = np.bincount(pair_tile, minlength=n_tiles)
+    np.cumsum(counts, out=tile_pair_starts[1:])
+    frag_round = frag_pair_idx - tile_pair_starts[pair_tile[frag_pair_idx]]
+    rounds_per_tile = counts  # Gaussians assigned to each tile
+
+    # Pixel "done" round: the round of the first fragment arriving already
+    # terminated; pixels that never terminate run the whole tile list.
+    pix = stream.pixel_ids
+    done_round = np.full(width * height, -1, dtype=np.int64)
+    tile_of_pixel = ((np.arange(width * height) // width) // TILE_SIZE * tiles_x
+                     + (np.arange(width * height) % width) // TILE_SIZE)
+    terminated_arrival = stream.arrival_alpha >= threshold
+    if terminated_arrival.any():
+        sentinel = np.iinfo(np.int64).max
+        first_done = np.full(width * height, sentinel, dtype=np.int64)
+        np.minimum.at(first_done, pix[terminated_arrival],
+                      frag_round[terminated_arrival])
+        has_done = first_done != sentinel
+        done_round[has_done] = first_done[has_done]
+    never = done_round < 0
+    done_round[never] = rounds_per_tile[tile_of_pixel[never]]
+
+    # Warp rounds: max done-round over the warp's 32 pixels (ET), or the
+    # tile's full list length (no ET).
+    ys = np.arange(width * height) // width
+    warp_of_pixel = tile_of_pixel * WARPS_PER_TILE + (ys % TILE_SIZE) // WARP_ROWS
+    n_warps = n_tiles * WARPS_PER_TILE
+    warp_rounds_et = np.zeros(n_warps, dtype=np.int64)
+    np.maximum.at(warp_rounds_et, warp_of_pixel, done_round)
+    warp_rounds_no_et = np.repeat(rounds_per_tile, WARPS_PER_TILE)
+
+    # Warps execute only if their tile has work; empty tiles cost nothing.
+    rounds_no_et = int(warp_rounds_no_et.sum())
+    rounds_et = int(warp_rounds_et.sum())
+
+    blend_no_et = int(stream.unpruned.sum())
+    blend_et = int(stream.et_survivor_mask(threshold).sum())
+    return WarpExecution(rounds_no_et, rounds_et, blend_no_et, blend_et)

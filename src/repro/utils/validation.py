@@ -1,0 +1,59 @@
+"""Small argument-validation helpers used across the library.
+
+These exist so public entry points fail fast with clear messages instead of
+propagating cryptic NumPy broadcasting errors from deep inside a simulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_positive(name, value, allow_zero=False):
+    """Raise ``ValueError`` unless ``value`` is a positive (or non-negative) scalar.
+
+    Returns the value unchanged so it can be used inline::
+
+        self.width = check_positive("width", width)
+    """
+    if not np.isscalar(value) and not isinstance(value, (int, float, np.integer, np.floating)):
+        raise TypeError(f"{name} must be a scalar, got {type(value).__name__}")
+    if allow_zero:
+        if value < 0:
+            raise ValueError(f"{name} must be >= 0, got {value}")
+    else:
+        if value <= 0:
+            raise ValueError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def check_in_range(name, value, low, high, inclusive=True):
+    """Raise ``ValueError`` unless ``low <= value <= high`` (or strict)."""
+    if inclusive:
+        ok = low <= value <= high
+        bounds = f"[{low}, {high}]"
+    else:
+        ok = low < value < high
+        bounds = f"({low}, {high})"
+    if not ok:
+        raise ValueError(f"{name} must be in {bounds}, got {value}")
+    return value
+
+
+def check_shape(name, array, shape):
+    """Raise ``ValueError`` unless ``array.shape`` matches ``shape``.
+
+    ``shape`` entries of ``None`` act as wildcards, e.g. ``(None, 3)`` accepts
+    any number of rows of width three.
+    """
+    array = np.asarray(array)
+    if len(array.shape) != len(shape):
+        raise ValueError(
+            f"{name} must have {len(shape)} dimensions, got shape {array.shape}"
+        )
+    for axis, (actual, expected) in enumerate(zip(array.shape, shape)):
+        if expected is not None and actual != expected:
+            raise ValueError(
+                f"{name} has shape {array.shape}; expected {expected} along axis {axis}"
+            )
+    return array

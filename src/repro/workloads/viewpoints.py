@@ -1,0 +1,32 @@
+"""Viewpoint sets for the Figure 21 early-termination-ratio sweep.
+
+The paper evaluates every viewpoint the datasets provide (hundreds per
+scene); the procedural stand-in is an orbit around each scene's centre at
+the profile's capture radius — the same geometry dataset trajectories
+follow for object-centric captures.
+"""
+
+from __future__ import annotations
+
+from repro.gaussians.camera import orbit_viewpoints
+from repro.workloads.catalog import SceneProfile, get_profile
+
+
+def scene_viewpoints(name_or_profile, n_views=12):
+    """Cameras orbiting the scene (default 12; the paper uses the full set).
+
+    Returns a list of :class:`~repro.gaussians.camera.Camera`.
+    """
+    profile = (name_or_profile if isinstance(name_or_profile, SceneProfile)
+               else get_profile(name_or_profile))
+    if n_views <= 0:
+        raise ValueError(f"n_views must be positive, got {n_views}")
+    return orbit_viewpoints(
+        center=profile.camera_target,
+        radius=profile.orbit_radius,
+        n_views=n_views,
+        height=profile.orbit_height,
+        fov_x_deg=profile.fov_x_deg,
+        width=profile.width,
+        img_height=profile.height,
+    )

@@ -1,0 +1,143 @@
+"""Adversarial/degenerate workloads through the full pipeline.
+
+Failure-injection-style tests: extreme stream shapes that stress bin
+dynamics, merge pairing, and termination logic in ways the calibrated
+scenes never do.  The pipeline must stay consistent (no crashes, counts
+coherent, images exact) on all of them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.vrpipe import run_all_variants, speedups_over_baseline
+from repro.micro.workload import rect_stream
+from repro.render.fragstream import FragmentStream
+
+
+def _stream(frags, width, height, n_prims):
+    prim = np.array([f[0] for f in frags], dtype=np.int32)
+    return FragmentStream(
+        prim_ids=prim,
+        x=np.array([f[1] for f in frags], dtype=np.int32),
+        y=np.array([f[2] for f in frags], dtype=np.int32),
+        alphas=np.array([f[3] for f in frags], dtype=np.float32),
+        prim_colors=np.tile([0.5, 0.4, 0.3], (n_prims, 1)),
+        width=width, height=height)
+
+
+class TestSinglePixelPileup:
+    """Hundreds of fragments on one pixel: maximal merge/ET pressure."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        frags = [(i, 5, 5, 0.30) for i in range(400)]
+        stream = _stream(frags, 32, 32, 400)
+        return stream, run_all_variants(stream)
+
+    def test_counts(self, results):
+        stream, variants = results
+        base = variants["baseline"].stats
+        assert base.fragments_blended == 400
+        assert base.quads_to_crop == 400  # one quad per primitive
+
+    def test_het_truncates(self, results):
+        stream, variants = results
+        # alpha 0.3 -> terminates after ceil(log(0.004)/log(0.7)) = 16
+        # blends; with the in-flight lag, HET blends 16 + lag.
+        lag = variants["het"].config.het_inflight_lag
+        assert variants["het"].stats.fragments_blended == 16 + lag
+
+    def test_qm_halves_quads(self, results):
+        stream, variants = results
+        # All quads share one position: pairs merge 400 -> 200.
+        assert variants["qm"].stats.quads_merged_pairs > 0
+        assert variants["qm"].stats.quads_to_crop <= 250
+
+    def test_speedups_sane(self, results):
+        _, variants = results
+        speedups = speedups_over_baseline(variants)
+        assert all(s >= 0.9 for s in speedups.values())
+
+
+class TestOneFragmentPerPixel:
+    """Fully parallel workload: nothing to terminate, nothing to merge."""
+
+    def test_extensions_are_no_ops(self):
+        stream = rect_stream([(0, 0, 64, 64)], 64, 64)
+        variants = run_all_variants(stream)
+        base = variants["baseline"].stats
+        assert variants["het"].stats.fragments_blended == base.fragments_blended
+        assert variants["qm"].stats.quads_merged_pairs == 0
+        assert variants["het"].stats.quads_discarded_zrop == 0
+        # No benefit, but also no meaningful penalty.
+        speedups = speedups_over_baseline(variants)
+        assert all(s > 0.9 for s in speedups.values())
+
+
+class TestFullyPrunedStream:
+    """Every fragment below the alpha-pruning threshold."""
+
+    def test_nothing_blends(self):
+        frags = [(i, x, y, 0.001) for i in range(3)
+                 for x in range(8) for y in range(8)]
+        stream = _stream(frags, 16, 16, 3)
+        variants = run_all_variants(stream)
+        for res in variants.values():
+            assert res.stats.fragments_blended == 0
+            assert res.stats.quads_to_crop == 0
+            # Quads still rasterised and shaded (pruning happens in-shader).
+            assert res.stats.quads_rasterized > 0
+
+
+class TestOpaqueFirstFragment:
+    """An alpha-0.99 fragment terminates its pixel almost immediately."""
+
+    def test_et_kills_rest(self):
+        frags = [(0, 2, 2, 0.99), (1, 2, 2, 0.99)]
+        frags += [(i, 2, 2, 0.5) for i in range(2, 50)]
+        stream = _stream(frags, 8, 8, 50)
+        # accumulated: 0.99, then 0.9999 >= 0.996 -> terminate after 2.
+        assert int(stream.et_survivor_mask().sum()) == 2
+
+    def test_image_bounded_error(self):
+        frags = [(0, 2, 2, 0.99), (1, 2, 2, 0.99)]
+        frags += [(i, 2, 2, 0.5) for i in range(2, 50)]
+        stream = _stream(frags, 8, 8, 50)
+        exact, _ = stream.blend_image(early_term=False)
+        et, _ = stream.blend_image(early_term=True)
+        assert np.abs(exact - et).max() <= 0.004
+
+
+class TestCheckerboardTiles:
+    """Primitives alternating between two far-apart tiles every quad."""
+
+    def test_bin_thrash_free(self):
+        rects = []
+        for i in range(100):
+            x = 0 if i % 2 == 0 else 112
+            rects.append((x, 0, 2, 2))
+        stream = rect_stream(rects, 128, 16)
+        variants = run_all_variants(stream)
+        # Two tiles, both resident: quads coalesce, no evictions.
+        assert variants["baseline"].stats.tc_flush_evict == 0
+
+    def test_qm_merges_alternating(self):
+        rects = [(0, 0, 2, 2), (112, 0, 2, 2)] * 50
+        stream = rect_stream(rects, 128, 16)
+        variants = run_all_variants(stream)
+        # Within each tile's bin the 50 stacked quads pair into 25.
+        assert variants["qm"].stats.quads_merged_pairs == 50
+
+
+class TestWideSplat:
+    """One primitive covering the whole screen (every tile, every grid)."""
+
+    def test_traverses_all_tiles(self):
+        stream = rect_stream([(0, 0, 128, 128)], 128, 128)
+        variants = run_all_variants(stream)
+        base = variants["baseline"].stats
+        assert base.quads_rasterized == 64 * 64
+        assert base.quads_to_crop == 64 * 64
+        # 8x8 = 64 tiles > 32 bins: the single wide primitive still flushes
+        # cleanly (insertion order visits each tile once).
+        assert base.tc_flushes() >= 64

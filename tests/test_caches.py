@@ -1,0 +1,66 @@
+"""LRU cache model."""
+
+import pytest
+
+from repro.hwmodel.caches import LRUCache
+
+
+class TestLRUCache:
+    def test_miss_then_hit(self):
+        cache = LRUCache(4 * 128, 128)
+        assert cache.access(0) is False
+        assert cache.access(0) is True
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_same_line_aliases(self):
+        cache = LRUCache(4 * 128, 128)
+        cache.access(0)
+        assert cache.access(127) is True   # same 128B line
+        assert cache.access(128) is False  # next line
+
+    def test_capacity_eviction(self):
+        cache = LRUCache(2 * 128, 128)
+        cache.access_line(0)
+        cache.access_line(1)
+        cache.access_line(2)  # evicts 0
+        assert cache.access_line(0) is False
+        assert cache.evictions >= 1
+
+    def test_lru_order(self):
+        cache = LRUCache(2 * 128, 128)
+        cache.access_line(0)
+        cache.access_line(1)
+        cache.access_line(0)  # refresh 0; 1 becomes LRU
+        cache.access_line(2)  # evicts 1
+        assert cache.access_line(0) is True
+        assert cache.access_line(1) is False
+
+    def test_dirty_writeback(self):
+        cache = LRUCache(1 * 128, 128)
+        cache.access_line(0, write=True)
+        cache.access_line(1)  # evicts dirty line 0
+        assert cache.writebacks == 1
+
+    def test_flush_counts_dirty(self):
+        cache = LRUCache(4 * 128, 128)
+        cache.access_line(0, write=True)
+        cache.access_line(1, write=False)
+        cache.flush()
+        assert cache.writebacks == 1
+        assert len(cache) == 0
+
+    def test_access_many(self):
+        cache = LRUCache(8 * 128, 128)
+        assert cache.access_many([0, 1, 2, 0]) == 3
+
+    def test_reset_counters(self):
+        cache = LRUCache(4 * 128, 128)
+        cache.access_line(0)
+        cache.reset_counters()
+        assert cache.misses == 0
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            LRUCache(0, 128)
+        with pytest.raises(ValueError):
+            LRUCache(64, 128)

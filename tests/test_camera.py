@@ -1,0 +1,73 @@
+"""Pinhole camera: transforms, look-at frames, orbits."""
+
+import numpy as np
+import pytest
+
+from repro.gaussians.camera import Camera, orbit_viewpoints
+
+
+class TestCameraBasics:
+    def test_position_roundtrip(self):
+        cam = Camera.look_at(eye=(1.0, 2.0, -3.0), target=(0, 0, 0))
+        assert cam.position == pytest.approx([1.0, 2.0, -3.0])
+
+    def test_rotation_is_orthonormal(self):
+        cam = Camera.look_at(eye=(1, 0.5, -2), target=(0.2, 0, 0.3))
+        eye3 = cam.rotation @ cam.rotation.T
+        assert eye3 == pytest.approx(np.eye(3), abs=1e-12)
+
+    def test_target_projects_to_center(self):
+        cam = Camera.look_at(eye=(0, 0, -3), target=(0, 0, 0),
+                             width=200, height=100)
+        uv = cam.project(np.array([[0.0, 0.0, 0.0]]))
+        assert uv[0] == pytest.approx([100.0, 50.0])
+
+    def test_target_depth_positive(self):
+        cam = Camera.look_at(eye=(2, 1, -3), target=(0, 0, 0))
+        cam_space = cam.to_camera_space(np.array([[0.0, 0.0, 0.0]]))
+        assert cam_space[0, 2] > 0
+
+    def test_point_behind_is_nan(self):
+        cam = Camera.look_at(eye=(0, 0, -3), target=(0, 0, 0))
+        uv = cam.project(np.array([[0.0, 0.0, -10.0]]))
+        assert np.isnan(uv).all()
+
+    def test_fov_controls_focal(self):
+        wide = Camera.look_at(eye=(0, 0, -3), target=(0, 0, 0),
+                              fov_x_deg=90.0, width=200)
+        narrow = Camera.look_at(eye=(0, 0, -3), target=(0, 0, 0),
+                                fov_x_deg=30.0, width=200)
+        assert wide.fx < narrow.fx
+
+    def test_rejects_degenerate_lookat(self):
+        with pytest.raises(ValueError, match="coincide"):
+            Camera.look_at(eye=(1, 1, 1), target=(1, 1, 1))
+
+    def test_rejects_parallel_up(self):
+        with pytest.raises(ValueError, match="parallel"):
+            Camera.look_at(eye=(0, 0, 0), target=(0, 1, 0), up=(0, 1, 0))
+
+    def test_rejects_bad_clip_planes(self):
+        with pytest.raises(ValueError, match="zfar"):
+            Camera(np.eye(3), np.zeros(3), fx=100, fy=100, width=64,
+                   height=64, znear=10.0, zfar=1.0)
+
+
+class TestOrbit:
+    def test_count_and_radius(self):
+        cams = orbit_viewpoints(center=(0, 0, 0), radius=2.0, n_views=6)
+        assert len(cams) == 6
+        for cam in cams:
+            horizontal = cam.position[[0, 2]]
+            assert np.linalg.norm(horizontal) == pytest.approx(2.0)
+
+    def test_all_look_at_center(self):
+        cams = orbit_viewpoints(center=(1, 0, 2), radius=3.0, n_views=4,
+                                height=0.5, width=128, img_height=128)
+        for cam in cams:
+            uv = cam.project(np.array([[1.0, 0.0, 2.0]]))
+            assert uv[0] == pytest.approx([64.0, 64.0], abs=1e-6)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            orbit_viewpoints((0, 0, 0), radius=-1, n_views=3)

@@ -1,0 +1,57 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_render_args(self):
+        args = build_parser().parse_args(
+            ["render", "--scene", "lego", "--out", "x.ppm"])
+        assert args.scene == "lego"
+        assert args.out == "x.ppm"
+
+    def test_rejects_unknown_scene(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["render", "--scene", "atrium"])
+
+    def test_rejects_unknown_variant(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["simulate", "--scene", "lego", "--variant", "turbo"])
+
+
+class TestCommands:
+    def test_list_scenes(self, capsys):
+        assert main(["list-scenes"]) == 0
+        out = capsys.readouterr().out
+        assert "kitchen" in out and "building" in out
+
+    def test_render(self, tmp_path, capsys):
+        out_path = tmp_path / "lego.ppm"
+        assert main(["render", "--scene", "lego", "--out",
+                     str(out_path)]) == 0
+        assert out_path.exists()
+        assert out_path.read_bytes()[:2] == b"P6"
+        assert "early-termination ratio" in capsys.readouterr().out
+
+    def test_simulate_single(self, capsys):
+        assert main(["simulate", "--scene", "palace", "--variant",
+                     "het"]) == 0
+        out = capsys.readouterr().out
+        assert "bottleneck" in out
+        assert "HET=on" in out
+
+    def test_simulate_all(self, capsys):
+        assert main(["simulate", "--scene", "palace", "--all"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "het+qm" in out
+
+    def test_experiment_fig01(self, capsys):
+        assert main(["experiment", "fig01"]) == 0
+        assert "Figure 1" in capsys.readouterr().out

@@ -1,0 +1,76 @@
+"""Frustum culling and depth sorting."""
+
+import numpy as np
+import pytest
+
+from repro.gaussians.camera import Camera
+from repro.gaussians.culling import frustum_cull
+from repro.gaussians.gaussian import GaussianCloud
+from repro.gaussians.sorting import depth_sort_indices, sort_cost_model
+
+
+def _cloud(positions, opacity=0.8, scale=0.05):
+    positions = np.atleast_2d(positions)
+    n = positions.shape[0]
+    return GaussianCloud(
+        positions=positions, scales=np.full((n, 3), scale),
+        quaternions=np.tile([1.0, 0, 0, 0], (n, 1)),
+        opacities=np.full(n, opacity), sh=np.zeros((n, 1, 3)))
+
+
+@pytest.fixture
+def cam():
+    return Camera.look_at(eye=(0, 0, -2), target=(0, 0, 0),
+                          width=128, height=128)
+
+
+class TestFrustumCull:
+    def test_keeps_visible(self, cam):
+        assert frustum_cull(_cloud([0, 0, 0]), cam).all()
+
+    def test_culls_behind(self, cam):
+        assert not frustum_cull(_cloud([0, 0, -5.0]), cam).any()
+
+    def test_culls_beyond_far(self):
+        cam = Camera.look_at(eye=(0, 0, -2), target=(0, 0, 0), width=64,
+                             height=64, zfar=10.0)
+        assert not frustum_cull(_cloud([0, 0, 100.0]), cam).any()
+
+    def test_culls_far_off_screen(self, cam):
+        assert not frustum_cull(_cloud([50.0, 0, 0]), cam).any()
+
+    def test_keeps_marginal_offscreen_with_guard(self, cam):
+        # Slightly off-screen but large: the guard band keeps it.
+        cloud = _cloud([1.3, 0, 0], scale=0.4)
+        assert frustum_cull(cloud, cam).all()
+
+    def test_culls_transparent(self, cam):
+        assert not frustum_cull(_cloud([0, 0, 0], opacity=1e-4), cam).any()
+
+
+class TestDepthSort:
+    def test_front_to_back(self):
+        order = depth_sort_indices(np.array([3.0, 1.0, 2.0]))
+        assert order.tolist() == [1, 2, 0]
+
+    def test_back_to_front(self):
+        order = depth_sort_indices(np.array([3.0, 1.0, 2.0]),
+                                   front_to_back=False)
+        assert order.tolist() == [0, 2, 1]
+
+    def test_stability(self):
+        depths = np.array([1.0, 1.0, 1.0])
+        assert depth_sort_indices(depths).tolist() == [0, 1, 2]
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            depth_sort_indices(np.zeros((2, 2)))
+
+
+class TestSortCost:
+    def test_linear(self):
+        assert sort_cost_model(64, 32.0) == pytest.approx(2.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            sort_cost_model(-1)

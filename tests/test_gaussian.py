@@ -1,0 +1,109 @@
+"""GaussianCloud container and covariance construction."""
+
+import numpy as np
+import pytest
+
+from repro.gaussians.gaussian import GaussianCloud, quaternion_to_rotation
+
+
+def _simple_cloud(n=4, sh_degree=0):
+    k = (sh_degree + 1) ** 2
+    return GaussianCloud(
+        positions=np.zeros((n, 3)),
+        scales=np.full((n, 3), 0.1),
+        quaternions=np.tile([1.0, 0, 0, 0], (n, 1)),
+        opacities=np.full(n, 0.5),
+        sh=np.zeros((n, k, 3)),
+    )
+
+
+class TestQuaternionToRotation:
+    def test_identity(self):
+        rot = quaternion_to_rotation(np.array([[1.0, 0, 0, 0]]))
+        assert rot[0] == pytest.approx(np.eye(3))
+
+    def test_normalises_input(self):
+        rot = quaternion_to_rotation(np.array([[2.0, 0, 0, 0]]))
+        assert rot[0] == pytest.approx(np.eye(3))
+
+    def test_z_rotation_90(self):
+        half = np.sqrt(0.5)
+        rot = quaternion_to_rotation(np.array([[half, 0, 0, half]]))
+        v = rot[0] @ np.array([1.0, 0, 0])
+        assert v == pytest.approx([0, 1, 0], abs=1e-12)
+
+    def test_orthonormal_for_random(self):
+        rng = np.random.default_rng(3)
+        q = rng.normal(size=(10, 4))
+        rots = quaternion_to_rotation(q)
+        for r in rots:
+            assert r @ r.T == pytest.approx(np.eye(3), abs=1e-12)
+            assert np.linalg.det(r) == pytest.approx(1.0)
+
+    def test_rejects_zero_quaternion(self):
+        with pytest.raises(ValueError):
+            quaternion_to_rotation(np.zeros((1, 4)))
+
+
+class TestGaussianCloud:
+    def test_len(self):
+        assert len(_simple_cloud(5)) == 5
+
+    def test_covariance_isotropic(self):
+        cloud = _simple_cloud(2)
+        cov = cloud.covariances()
+        assert cov[0] == pytest.approx(0.01 * np.eye(3))
+
+    def test_covariance_rotation_invariant_trace(self):
+        rng = np.random.default_rng(0)
+        cloud = GaussianCloud(
+            positions=np.zeros((3, 3)),
+            scales=np.tile([0.1, 0.2, 0.3], (3, 1)),
+            quaternions=rng.normal(size=(3, 4)),
+            opacities=np.full(3, 0.5),
+            sh=np.zeros((3, 1, 3)),
+        )
+        for cov in cloud.covariances():
+            assert np.trace(cov) == pytest.approx(0.01 + 0.04 + 0.09)
+            # Symmetric positive semi-definite.
+            assert cov == pytest.approx(cov.T)
+            assert np.linalg.eigvalsh(cov).min() >= -1e-12
+
+    def test_subset(self):
+        cloud = _simple_cloud(5)
+        sub = cloud.subset(np.array([0, 2]))
+        assert len(sub) == 2
+
+    def test_concatenate(self):
+        merged = GaussianCloud.concatenate([_simple_cloud(2), _simple_cloud(3)])
+        assert len(merged) == 5
+
+    def test_concatenate_rejects_mixed_degree(self):
+        with pytest.raises(ValueError, match="mismatched"):
+            GaussianCloud.concatenate(
+                [_simple_cloud(2, sh_degree=0), _simple_cloud(2, sh_degree=1)])
+
+    def test_rejects_bad_opacity(self):
+        with pytest.raises(ValueError, match="opacities"):
+            GaussianCloud(np.zeros((1, 3)), np.ones((1, 3)),
+                          [[1, 0, 0, 0]], [1.5], np.zeros((1, 1, 3)))
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError, match="scales"):
+            GaussianCloud(np.zeros((1, 3)), np.zeros((1, 3)),
+                          [[1, 0, 0, 0]], [0.5], np.zeros((1, 1, 3)))
+
+    def test_rejects_bad_sh_count(self):
+        with pytest.raises(ValueError, match="coefficient count"):
+            GaussianCloud(np.zeros((1, 3)), np.ones((1, 3)),
+                          [[1, 0, 0, 0]], [0.5], np.zeros((1, 3, 3)))
+
+    def test_sh_degree_property(self):
+        assert _simple_cloud(1, sh_degree=2).sh_degree == 2
+
+    def test_extent(self):
+        cloud = GaussianCloud(
+            positions=[[0, 0, 0], [3, 4, 0]], scales=np.ones((2, 3)),
+            quaternions=np.tile([1, 0, 0, 0], (2, 1)),
+            opacities=[0.5, 0.5], sh=np.zeros((2, 1, 3)))
+        assert cloud.extent() == pytest.approx(5.0)

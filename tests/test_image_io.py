@@ -1,0 +1,48 @@
+"""PPM image output helpers."""
+
+import numpy as np
+import pytest
+
+from repro.render.image_io import read_ppm, to_uint8, write_ppm
+
+
+class TestToUint8:
+    def test_range(self):
+        img = np.array([[[0.0, 0.5, 1.0]]])
+        out = to_uint8(img, gamma=1.0)
+        assert out.tolist() == [[[0, 128, 255]]]
+
+    def test_clamps(self):
+        img = np.array([[[-1.0, 2.0, 0.5]]])
+        out = to_uint8(img, gamma=1.0)
+        assert out[0, 0, 0] == 0
+        assert out[0, 0, 1] == 255
+
+    def test_gamma_brightens(self):
+        img = np.full((1, 1, 3), 0.25)
+        assert (to_uint8(img, gamma=2.2) > to_uint8(img, gamma=1.0)).all()
+
+    def test_rejects_bad_gamma(self):
+        with pytest.raises(ValueError):
+            to_uint8(np.zeros((1, 1, 3)), gamma=0)
+
+
+class TestPPMRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(0)
+        image = rng.uniform(0, 1, size=(12, 9, 3))
+        path = tmp_path / "out.ppm"
+        write_ppm(path, image, gamma=1.0)
+        back = read_ppm(path)
+        assert back.shape == (12, 9, 3)
+        np.testing.assert_array_equal(back, to_uint8(image, gamma=1.0))
+
+    def test_rejects_bad_shape(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_ppm(tmp_path / "x.ppm", np.zeros((4, 4)))
+
+    def test_read_rejects_non_ppm(self, tmp_path):
+        path = tmp_path / "bad.ppm"
+        path.write_bytes(b"P3\n1 1\n255\n0 0 0")
+        with pytest.raises(ValueError):
+            read_ppm(path)

@@ -1,0 +1,141 @@
+"""Scene I/O (PLY/NPZ) and cloud transforms."""
+
+import numpy as np
+import pytest
+
+from repro.gaussians import synthetic, transforms
+from repro.gaussians.io import read_npz, read_ply, write_npz, write_ply
+
+
+@pytest.fixture
+def cloud():
+    return synthetic.make_blob(3, 40, center=(1, 2, 3), radius=0.5,
+                               sh_degree=0)
+
+
+@pytest.fixture
+def cloud_sh2():
+    base = synthetic.make_blob(4, 25, center=(0, 0, 0), radius=0.5)
+    sh = np.random.default_rng(0).normal(scale=0.1, size=(25, 9, 3))
+    sh[:, 0] = base.sh[:, 0]
+    from repro.gaussians.gaussian import GaussianCloud
+    return GaussianCloud(base.positions, base.scales, base.quaternions,
+                         base.opacities, sh)
+
+
+class TestNPZ:
+    def test_roundtrip(self, tmp_path, cloud):
+        path = tmp_path / "scene.npz"
+        write_npz(path, cloud)
+        back = read_npz(path)
+        np.testing.assert_allclose(back.positions, cloud.positions)
+        np.testing.assert_allclose(back.opacities, cloud.opacities)
+
+    def test_type_check(self, tmp_path):
+        with pytest.raises(TypeError):
+            write_npz(tmp_path / "x.npz", "cloud")
+
+
+class TestPLY:
+    def test_roundtrip_degree0(self, tmp_path, cloud):
+        path = tmp_path / "scene.ply"
+        write_ply(path, cloud)
+        back = read_ply(path)
+        assert len(back) == len(cloud)
+        np.testing.assert_allclose(back.positions, cloud.positions,
+                                   atol=1e-5)
+        np.testing.assert_allclose(back.scales, cloud.scales, rtol=1e-4)
+        np.testing.assert_allclose(back.opacities, cloud.opacities,
+                                   atol=1e-4)
+        np.testing.assert_allclose(back.sh, cloud.sh, atol=1e-5)
+
+    def test_roundtrip_degree2(self, tmp_path, cloud_sh2):
+        path = tmp_path / "scene2.ply"
+        write_ply(path, cloud_sh2)
+        back = read_ply(path)
+        assert back.sh.shape == cloud_sh2.sh.shape
+        np.testing.assert_allclose(back.sh, cloud_sh2.sh, atol=1e-5)
+
+    def test_renders_identically(self, tmp_path, cloud):
+        """The checkpoint round-trip must not change the rendered image."""
+        from repro.gaussians.camera import Camera
+        from repro.render.reference import render_reference
+        cam = Camera.look_at(eye=(1, 2, 1.5), target=(1, 2, 3), width=48,
+                             height=48)
+        path = tmp_path / "scene.ply"
+        write_ply(path, cloud)
+        a = render_reference(cloud, cam)
+        b = render_reference(read_ply(path), cam)
+        np.testing.assert_allclose(a.image, b.image, atol=1e-3)
+
+    def test_quaternions_same_rotation(self, tmp_path, cloud):
+        from repro.gaussians.gaussian import quaternion_to_rotation
+        path = tmp_path / "scene.ply"
+        write_ply(path, cloud)
+        back = read_ply(path)
+        np.testing.assert_allclose(
+            quaternion_to_rotation(back.quaternions),
+            quaternion_to_rotation(cloud.quaternions), atol=1e-4)
+
+    def test_rejects_non_ply(self, tmp_path):
+        path = tmp_path / "bad.ply"
+        path.write_bytes(b"hello")
+        with pytest.raises(ValueError, match="not a PLY"):
+            read_ply(path)
+
+    def test_rejects_ascii_ply(self, tmp_path):
+        path = tmp_path / "ascii.ply"
+        path.write_bytes(b"ply\nformat ascii 1.0\nend_header\n")
+        with pytest.raises(ValueError, match="unsupported"):
+            read_ply(path)
+
+
+class TestTransforms:
+    def test_translate(self, cloud):
+        moved = transforms.translate(cloud, (1, 0, -2))
+        np.testing.assert_allclose(moved.positions,
+                                   cloud.positions + [1, 0, -2])
+        # Original untouched.
+        assert not np.allclose(moved.positions, cloud.positions)
+
+    def test_scale_about_origin(self, cloud):
+        scaled = transforms.scale(cloud, 2.0, origin=(1, 2, 3))
+        np.testing.assert_allclose(
+            scaled.positions - [1, 2, 3],
+            2.0 * (cloud.positions - [1, 2, 3]))
+        np.testing.assert_allclose(scaled.scales, 2.0 * cloud.scales)
+
+    def test_scale_rejects_nonpositive(self, cloud):
+        with pytest.raises(ValueError):
+            transforms.scale(cloud, 0.0)
+
+    def test_rotate_covariance_consistent(self, cloud):
+        """Covariances must transform as R Sigma R^T."""
+        angle = 0.7
+        rot = np.array([
+            [np.cos(angle), -np.sin(angle), 0.0],
+            [np.sin(angle), np.cos(angle), 0.0],
+            [0.0, 0.0, 1.0],
+        ])
+        rotated = transforms.rotate(cloud, rot)
+        expected = rot @ cloud.covariances() @ rot.T
+        np.testing.assert_allclose(rotated.covariances(), expected,
+                                   atol=1e-10)
+
+    def test_rotate_rejects_non_orthonormal(self, cloud):
+        with pytest.raises(ValueError, match="orthonormal"):
+            transforms.rotate(cloud, np.diag([2.0, 1.0, 1.0]))
+
+    def test_prune_by_opacity(self):
+        cloud = synthetic.make_blob(0, 100, (0, 0, 0), 1.0,
+                                    opacity_low=0.01, opacity_high=0.9)
+        pruned = transforms.prune_by_opacity(cloud, 0.5)
+        assert len(pruned) < len(cloud)
+        assert pruned.opacities.min() >= 0.5
+
+    def test_prune_by_size(self, cloud):
+        pruned = transforms.prune_by_size(cloud, cloud.scales.max())
+        assert len(pruned) <= 1
+
+    def test_merge(self, cloud):
+        assert len(transforms.merge(cloud, cloud)) == 2 * len(cloud)

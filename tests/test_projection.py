@@ -1,0 +1,136 @@
+"""EWA projection: conics, tight OBBs, depths."""
+
+import numpy as np
+import pytest
+
+from repro.gaussians.camera import Camera
+from repro.gaussians.gaussian import GaussianCloud
+from repro.gaussians.projection import (
+    ALPHA_EPS,
+    ALPHA_MAX,
+    _eigendecompose_2x2,
+    project_gaussians,
+)
+
+
+def _cloud_at(positions, scale=0.05, opacity=0.8):
+    positions = np.atleast_2d(positions)
+    n = positions.shape[0]
+    return GaussianCloud(
+        positions=positions,
+        scales=np.full((n, 3), scale),
+        quaternions=np.tile([1.0, 0, 0, 0], (n, 1)),
+        opacities=np.full(n, opacity),
+        sh=np.zeros((n, 1, 3)),
+    )
+
+
+@pytest.fixture
+def cam():
+    return Camera.look_at(eye=(0, 0, -2.0), target=(0, 0, 0),
+                          width=128, height=128)
+
+
+class TestEigen2x2:
+    def test_diagonal(self):
+        vals, vecs = _eigendecompose_2x2(
+            np.array([4.0]), np.array([0.0]), np.array([1.0]))
+        assert vals[0] == pytest.approx([4.0, 1.0])
+        assert abs(vecs[0, 0] @ [1, 0]) == pytest.approx(1.0)
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            m = rng.normal(size=(2, 2))
+            sym = m @ m.T + 0.1 * np.eye(2)
+            vals, vecs = _eigendecompose_2x2(
+                np.array([sym[0, 0]]), np.array([sym[0, 1]]),
+                np.array([sym[1, 1]]))
+            ref = np.sort(np.linalg.eigvalsh(sym))[::-1]
+            assert vals[0] == pytest.approx(ref, rel=1e-9)
+            # Eigenvectors orthonormal.
+            assert vecs[0] @ vecs[0].T == pytest.approx(np.eye(2), abs=1e-9)
+
+
+class TestProjection:
+    def test_center_projects_to_image_center(self, cam):
+        splats = project_gaussians(_cloud_at([0.0, 0.0, 0.0]), cam)
+        assert splats.centers[0] == pytest.approx([64.0, 64.0])
+
+    def test_depth_is_camera_z(self, cam):
+        splats = project_gaussians(_cloud_at([0.0, 0.0, 0.0]), cam)
+        assert splats.depths[0] == pytest.approx(2.0)
+
+    def test_closer_gaussian_is_bigger(self, cam):
+        cloud = _cloud_at([[0, 0, 0.0], [0, 0, 2.0]])
+        splats = project_gaussians(cloud, cam)
+        assert splats.radii[0].max() > splats.radii[1].max()
+
+    def test_alpha_at_obb_corner_below_eps(self, cam):
+        """The tight OBB boundary is the alpha == 1/255 iso-line."""
+        splats = project_gaussians(_cloud_at([0.0, 0.0, 0.0], opacity=0.9),
+                                   cam)
+        a, b, c = splats.conics[0]
+        # Walk to the boundary along the major axis.
+        axis = splats.axes[0, 0]
+        r = splats.radii[0, 0]
+        dx, dy = axis * r
+        power = 0.5 * (a * dx * dx + c * dy * dy) + b * dx * dy
+        alpha = splats.opacities[0] * np.exp(-power)
+        assert alpha == pytest.approx(ALPHA_EPS, rel=1e-6)
+
+    def test_opacity_capped(self, cam):
+        splats = project_gaussians(_cloud_at([0, 0, 0], opacity=1.0), cam)
+        assert splats.opacities[0] == pytest.approx(ALPHA_MAX)
+
+    def test_low_opacity_zero_radius_at_eps(self, cam):
+        splats = project_gaussians(
+            _cloud_at([0, 0, 0], opacity=ALPHA_EPS * 0.99), cam)
+        assert splats.radii[0] == pytest.approx([0.0, 0.0], abs=1e-9)
+
+    def test_behind_camera_zero_radius(self, cam):
+        splats = project_gaussians(_cloud_at([0, 0, -5.0]), cam)
+        assert (splats.radii[0] == 0).all()
+
+    def test_conic_is_inverse_covariance(self, cam):
+        splats = project_gaussians(_cloud_at([0.3, -0.2, 0.1]), cam)
+        a, b, c = splats.conics[0]
+        conic = np.array([[a, b], [b, c]])
+        vals, vecs = np.linalg.eigh(conic)
+        assert vals.min() > 0  # positive definite
+
+    def test_bounding_boxes_contain_centers(self, cam):
+        cloud = _cloud_at([[0, 0, 0], [0.4, 0.2, 0.5]])
+        splats = project_gaussians(cloud, cam)
+        boxes = splats.bounding_boxes()
+        assert (boxes[:, 0] <= splats.centers[:, 0]).all()
+        assert (boxes[:, 2] >= splats.centers[:, 0]).all()
+
+    def test_subset(self, cam):
+        splats = project_gaussians(_cloud_at([[0, 0, 0], [0.1, 0, 0]]), cam)
+        sub = splats.subset(np.array([1]))
+        assert len(sub) == 1
+        assert sub.centers[0] == pytest.approx(splats.centers[1])
+
+    def test_colors_passthrough(self, cam):
+        colors = np.array([[0.1, 0.2, 0.3]])
+        splats = project_gaussians(_cloud_at([0, 0, 0]), cam, colors=colors)
+        assert splats.colors == pytest.approx(colors)
+
+    def test_rejects_bad_color_shape(self, cam):
+        with pytest.raises(ValueError):
+            project_gaussians(_cloud_at([0, 0, 0]), cam,
+                              colors=np.zeros((2, 3)))
+
+    def test_anisotropic_obb_orientation(self, cam):
+        """A Gaussian elongated along world-x must produce a wide splat."""
+        cloud = GaussianCloud(
+            positions=[[0.0, 0.0, 0.0]],
+            scales=[[0.3, 0.02, 0.02]],
+            quaternions=[[1.0, 0, 0, 0]],
+            opacities=[0.9],
+            sh=np.zeros((1, 1, 3)))
+        splats = project_gaussians(cloud, cam)
+        major = splats.axes[0, 0]
+        assert abs(major[0]) > 0.99  # major axis is horizontal on screen
+        assert splats.radii[0, 0] > 3 * splats.radii[0, 1]

@@ -1,0 +1,65 @@
+"""Spherical-harmonics colour evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.gaussians.sh import eval_sh, num_sh_coeffs, rgb_to_sh_dc
+
+
+class TestNumCoeffs:
+    def test_values(self):
+        assert [num_sh_coeffs(d) for d in range(4)] == [1, 4, 9, 16]
+
+    def test_rejects_degree_4(self):
+        with pytest.raises(ValueError):
+            num_sh_coeffs(4)
+
+
+class TestEvalSH:
+    def test_dc_roundtrip(self):
+        rgb = np.array([[0.2, 0.5, 0.9]])
+        sh = rgb_to_sh_dc(rgb).reshape(1, 1, 3)
+        out = eval_sh(sh, np.array([[0.0, 0.0, 1.0]]))
+        assert out == pytest.approx(rgb)
+
+    def test_dc_is_view_independent(self):
+        sh = rgb_to_sh_dc(np.array([[0.3, 0.3, 0.3]])).reshape(1, 1, 3)
+        a = eval_sh(sh, np.array([[1.0, 0, 0]]))
+        b = eval_sh(sh, np.array([[0, 0, 1.0]]))
+        assert a == pytest.approx(b)
+
+    def test_degree1_view_dependent(self):
+        sh = np.zeros((1, 4, 3))
+        sh[0, 0] = rgb_to_sh_dc(np.array([0.5, 0.5, 0.5]))
+        sh[0, 3] = 0.4  # x-direction coefficient
+        a = eval_sh(sh, np.array([[1.0, 0, 0]]))
+        b = eval_sh(sh, np.array([[-1.0, 0, 0]]))
+        assert not np.allclose(a, b)
+
+    def test_clamped_nonnegative(self):
+        sh = rgb_to_sh_dc(np.array([[-5.0, -5.0, -5.0]])).reshape(1, 1, 3)
+        out = eval_sh(sh, np.array([[0, 0, 1.0]]))
+        assert (out >= 0).all()
+
+    def test_direction_normalisation(self):
+        sh = np.zeros((1, 4, 3))
+        sh[0, 1] = 1.0
+        a = eval_sh(sh, np.array([[0.0, 2.0, 0.0]]))
+        b = eval_sh(sh, np.array([[0.0, 1.0, 0.0]]))
+        assert a == pytest.approx(b)
+
+    def test_degree3_runs(self):
+        rng = np.random.default_rng(0)
+        sh = rng.normal(scale=0.1, size=(5, 16, 3))
+        dirs = rng.normal(size=(5, 3))
+        out = eval_sh(sh, dirs)
+        assert out.shape == (5, 3)
+        assert np.isfinite(out).all()
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            eval_sh(np.zeros((2, 1, 3)), np.zeros((3, 3)))
+
+    def test_rejects_non_square_count(self):
+        with pytest.raises(ValueError):
+            eval_sh(np.zeros((1, 5, 3)), np.zeros((1, 3)))

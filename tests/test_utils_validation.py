@@ -1,0 +1,54 @@
+"""Argument-validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import check_in_range, check_positive, check_shape
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 3) == 3
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="must be > 0"):
+            check_positive("x", 0)
+
+    def test_allow_zero(self):
+        assert check_positive("x", 0, allow_zero=True) == 0
+        with pytest.raises(ValueError):
+            check_positive("x", -1, allow_zero=True)
+
+    def test_rejects_non_scalar(self):
+        with pytest.raises(TypeError):
+            check_positive("x", [1, 2])
+
+
+class TestCheckInRange:
+    def test_inclusive(self):
+        assert check_in_range("x", 1.0, 0.0, 1.0) == 1.0
+
+    def test_exclusive(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 1.0, 0.0, 1.0, inclusive=False)
+
+    def test_below(self):
+        with pytest.raises(ValueError, match="must be in"):
+            check_in_range("x", -0.1, 0.0, 1.0)
+
+
+class TestCheckShape:
+    def test_exact(self):
+        arr = check_shape("a", np.zeros((2, 3)), (2, 3))
+        assert arr.shape == (2, 3)
+
+    def test_wildcard(self):
+        check_shape("a", np.zeros((7, 3)), (None, 3))
+
+    def test_wrong_ndim(self):
+        with pytest.raises(ValueError, match="dimensions"):
+            check_shape("a", np.zeros(3), (None, 3))
+
+    def test_wrong_size(self):
+        with pytest.raises(ValueError, match="expected 4"):
+            check_shape("a", np.zeros((2, 3)), (2, 4))

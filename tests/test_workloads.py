@@ -1,0 +1,100 @@
+"""Workload catalog: profiles, builders, viewpoints."""
+
+import pytest
+
+from repro.workloads.catalog import (
+    LARGE_SCALE_SCENES,
+    SCENES,
+    build_scene,
+    default_camera,
+    get_profile,
+    scene_names,
+)
+from repro.workloads.viewpoints import scene_viewpoints
+
+
+class TestCatalog:
+    def test_table2_scene_set(self):
+        assert set(SCENES) == {"kitchen", "bonsai", "train", "truck",
+                               "lego", "palace"}
+        assert set(LARGE_SCALE_SCENES) == {"building", "rubble"}
+
+    def test_scene_names_order(self):
+        names = scene_names()
+        assert names == ["kitchen", "bonsai", "train", "truck", "lego",
+                         "palace"]
+        assert len(scene_names(include_large=True)) == 8
+
+    def test_paper_facts(self):
+        kitchen = get_profile("kitchen")
+        assert kitchen.paper_resolution == (1552, 1040)
+        assert kitchen.paper_gaussians == 1_850_000
+        assert get_profile("truck").paper_gaussians == 2_540_000
+        assert get_profile("building").paper_gaussians == 9_060_000
+
+    def test_unknown_scene(self):
+        with pytest.raises(KeyError, match="unknown scene"):
+            get_profile("atrium")
+
+    def test_build_scene_counts(self):
+        for name in ("lego", "palace"):
+            profile = get_profile(name)
+            cloud = build_scene(name)
+            assert len(cloud) <= profile.n_gaussians
+            assert len(cloud) >= profile.n_gaussians - 10
+
+    def test_build_deterministic(self):
+        a = build_scene("lego", seed=0)
+        b = build_scene("lego", seed=0)
+        assert (a.positions == b.positions).all()
+
+    def test_seeds_differ(self):
+        a = build_scene("lego", seed=0)
+        b = build_scene("lego", seed=1)
+        assert not (a.positions == b.positions).all()
+
+    def test_default_camera_matches_profile(self):
+        cam = default_camera("train")
+        profile = get_profile("train")
+        assert cam.width == profile.width
+        assert cam.height == profile.height
+
+
+class TestViewpoints:
+    def test_count(self):
+        assert len(scene_viewpoints("lego", 5)) == 5
+
+    def test_resolution_matches(self):
+        cams = scene_viewpoints("kitchen", 3)
+        profile = get_profile("kitchen")
+        assert all(c.width == profile.width for c in cams)
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            scene_viewpoints("lego", 0)
+
+
+class TestSceneStatistics:
+    """The calibrated qualitative properties the experiments rely on."""
+
+    @pytest.fixture(scope="class")
+    def ratios(self):
+        from repro.gaussians.preprocess import preprocess
+        from repro.render.splat_raster import rasterize_splats
+        out = {}
+        for name in ("bonsai", "train", "lego"):
+            profile = get_profile(name)
+            cloud = build_scene(name)
+            cam = profile.camera()
+            pre = preprocess(cloud, cam)
+            stream = rasterize_splats(pre.splats, cam.width, cam.height)
+            out[name] = stream.termination_ratio()
+        return out
+
+    def test_all_above_threshold(self, ratios):
+        """Paper: every scene's ratio exceeds 1.5 (>= 33% eliminable)."""
+        for name, ratio in ratios.items():
+            assert ratio > 1.5, name
+
+    def test_outdoor_exceeds_indoor(self, ratios):
+        assert ratios["train"] > ratios["bonsai"]
