@@ -3,52 +3,49 @@
 Reproduces the paper's cross-scene observation (Sections VI-B and VII-B) on
 two Table II workloads: an outdoor scene (Train — deep stacked structure
 with many Gaussians "beyond the surface") and an indoor one (Bonsai — a
-central object inside a room shell).  For each, the script sweeps orbit
-viewpoints, reports the early-termination ratio, and runs the HET+QM
-pipeline to show the speedup tracks the ratio.
+central object inside a room shell).  Each scene runs as a multi-frame
+:class:`~repro.engine.session.RenderSession` along its orbit trajectory:
+the full VR-Pipe backend (``hw:het+qm``) renders every frame next to the
+baseline hardware backend, so per-frame speedups and early-termination
+ratios come straight from the trajectory records.
 
 Run:  python examples/indoor_vs_outdoor.py
 """
 
-from repro.core import run_variant
-from repro.gaussians.preprocess import preprocess
-from repro.render.splat_raster import rasterize_splats
-from repro.workloads import build_scene, get_profile, scene_viewpoints
+from repro.engine import RenderSession
+from repro.workloads import get_profile
 
 
-def analyse(scene_name, n_views=5):
+def analyse(scene_name, n_views=5, jobs=2):
     profile = get_profile(scene_name)
-    cloud = build_scene(profile)
+    session = RenderSession(scene_name, backend="hw:het+qm",
+                            baseline="hw:baseline")
+    trajectory = session.run(n_views=n_views, jobs=jobs)
     print(f"\n=== {scene_name} ({profile.scene_type}; "
-          f"{len(cloud):,} Gaussians at {profile.width}x{profile.height}) ===")
+          f"{profile.n_gaussians:,} Gaussians at "
+          f"{profile.width}x{profile.height}) ===")
     print(f"{'view':>4} {'ET ratio':>9} {'base cycles':>12} "
           f"{'het+qm':>10} {'speedup':>8}")
-    ratios = []
-    speedups = []
-    for k, camera in enumerate(scene_viewpoints(profile, n_views)):
-        pre = preprocess(cloud, camera)
-        stream = rasterize_splats(pre.splats, camera.width, camera.height)
-        ratio = stream.termination_ratio()
-        base = run_variant(stream, "baseline")
-        vrp = run_variant(stream, "het+qm")
-        speedup = base.cycles / vrp.cycles
-        ratios.append(ratio)
-        speedups.append(speedup)
-        print(f"{k:>4} {ratio:>9.2f} {base.cycles:>12,.0f} "
-              f"{vrp.cycles:>10,.0f} {speedup:>8.2f}")
-    mean_ratio = sum(ratios) / len(ratios)
-    mean_speedup = sum(speedups) / len(speedups)
-    print(f"mean: ET ratio {mean_ratio:.2f}, speedup {mean_speedup:.2f}x")
-    return mean_ratio, mean_speedup
+    for rec in trajectory.records:
+        print(f"{rec.index:>4} {rec.et_ratio:>9.2f} "
+              f"{rec.baseline_cycles:>12,.0f} {rec.cycles:>10,.0f} "
+              f"{rec.speedup:>8.2f}")
+    agg = trajectory.aggregates()
+    print(f"mean ET ratio {agg['et_ratio_mean']:.2f}, "
+          f"geomean speedup {agg['geomean_speedup']:.2f}x, "
+          f"median {agg['fps_p50']:,.0f} FPS")
+    return agg
 
 
 def main():
     outdoor = analyse("train")
     indoor = analyse("bonsai")
     print("\n=== summary ===")
-    print(f"train  (outdoor): ratio {outdoor[0]:.2f} -> {outdoor[1]:.2f}x")
-    print(f"bonsai (indoor) : ratio {indoor[0]:.2f} -> {indoor[1]:.2f}x")
-    if outdoor[1] > indoor[1]:
+    print(f"train  (outdoor): ratio {outdoor['et_ratio_mean']:.2f} -> "
+          f"{outdoor['geomean_speedup']:.2f}x")
+    print(f"bonsai (indoor) : ratio {indoor['et_ratio_mean']:.2f} -> "
+          f"{indoor['geomean_speedup']:.2f}x")
+    if outdoor["geomean_speedup"] > indoor["geomean_speedup"]:
         print("outdoor structure converts to larger VR-Pipe gains, "
               "as in the paper.")
 

@@ -4,6 +4,7 @@ Usage::
 
     python -m repro render  --scene train --out train.ppm
     python -m repro simulate --scene truck [--variant het+qm] [--all]
+    python -m repro trajectory --scene train --backend hw:het+qm --views 24
     python -m repro experiment fig16
     python -m repro list-scenes
 
@@ -18,6 +19,10 @@ import importlib
 import sys
 
 from repro.core.vrpipe import VARIANTS, run_all_variants, run_variant
+from repro.engine.backends import available_backends
+from repro.engine.cache import ResultCache
+from repro.engine.session import RenderSession
+from repro.experiments.runner import format_table
 from repro.gaussians.preprocess import preprocess
 from repro.hwmodel.report import compare_variants, draw_report
 from repro.render.image_io import write_ppm
@@ -88,6 +93,39 @@ def cmd_simulate(args):
     return 0
 
 
+def cmd_trajectory(args):
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    baseline = None if args.baseline == "none" else args.baseline
+    session = RenderSession(
+        args.scene, backend=args.backend, baseline=baseline,
+        device=args.device, seed=args.seed,
+        warm_crop_cache=args.warm_crop_cache, result_cache=cache)
+    trajectory = session.run(n_views=args.views, jobs=args.jobs)
+
+    rows = []
+    for rec in trajectory.records:
+        rows.append([
+            rec.index,
+            rec.ms if rec.ms is not None else "-",
+            rec.fps if rec.fps is not None else "-",
+            rec.et_ratio if rec.et_ratio is not None else "-",
+            rec.speedup if rec.speedup is not None else "-",
+        ])
+    source = " (from disk cache)" if trajectory.from_cache else ""
+    print(format_table(
+        ["Frame", "ms", "FPS", "ET ratio", "Speedup"], rows,
+        title=(f"Trajectory: {trajectory.scene} / {trajectory.backend} "
+               f"on {trajectory.device}, {trajectory.n_frames} views"
+               f"{source}")))
+    print()
+    agg = trajectory.aggregates()
+    print(format_table(
+        ["Aggregate", "Value"],
+        [[key, agg[key]] for key in sorted(agg)],
+        title="Aggregates"))
+    return 0
+
+
 def cmd_experiment(args):
     module_name = _EXPERIMENT_MODULES[args.name]
     module = importlib.import_module(f"repro.experiments.{module_name}")
@@ -121,6 +159,30 @@ def build_parser():
                           help="run and compare all four variants")
     simulate.add_argument("--seed", type=int, default=0)
 
+    trajectory = sub.add_parser(
+        "trajectory",
+        help="simulate a multi-frame orbit trajectory through one backend")
+    trajectory.add_argument("--scene", required=True,
+                            choices=sorted({**SCENES, **LARGE_SCALE_SCENES}))
+    trajectory.add_argument("--backend", default="hw:het+qm",
+                            choices=available_backends())
+    trajectory.add_argument("--views", type=int, default=8,
+                            help="number of orbit viewpoints (default 8)")
+    trajectory.add_argument("--jobs", type=int, default=1,
+                            help="parallel frame workers (default serial)")
+    trajectory.add_argument("--seed", type=int, default=0)
+    trajectory.add_argument("--device", default="orin",
+                            choices=("orin", "rtx3090"))
+    trajectory.add_argument(
+        "--baseline", default="auto",
+        choices=("auto", "none") + tuple(available_backends()),
+        help="backend compared against for per-frame speedups")
+    trajectory.add_argument("--warm-crop-cache", action="store_true",
+                            help="persist the CROP cache across frames "
+                                 "(serial only)")
+    trajectory.add_argument("--cache-dir", default=None,
+                            help="on-disk trajectory result cache directory")
+
     experiment = sub.add_parser(
         "experiment", help="regenerate a paper table/figure")
     experiment.add_argument("name", choices=_EXPERIMENTS)
@@ -134,6 +196,7 @@ def main(argv=None):
         "list-scenes": cmd_list_scenes,
         "render": cmd_render,
         "simulate": cmd_simulate,
+        "trajectory": cmd_trajectory,
         "experiment": cmd_experiment,
     }
     return handlers[args.command](args)

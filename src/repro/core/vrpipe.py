@@ -148,8 +148,13 @@ class HardwareRenderer:
             raise TypeError("config must be a GPUConfig")
         self.kernel_model = kernel_model or SWKernelModel()
 
-    def render(self, cloud, camera):
-        """Render a cloud; returns an :class:`HWRenderResult`."""
+    def render(self, cloud, camera, crop_cache=None):
+        """Render a cloud; returns an :class:`HWRenderResult`.
+
+        ``crop_cache`` optionally carries a warm CROP cache across frames
+        (see :meth:`~repro.hwmodel.pipeline.GraphicsPipeline.draw`); the
+        termination stencil is still cleared per draw, as in hardware.
+        """
         if not isinstance(cloud, GaussianCloud):
             raise TypeError(
                 f"cloud must be a GaussianCloud, got {type(cloud).__name__}")
@@ -158,9 +163,9 @@ class HardwareRenderer:
                 f"camera must be a Camera, got {type(camera).__name__}")
         pre = preprocess(cloud, camera)
         stream = rasterize_splats(pre.splats, camera.width, camera.height)
-        return self.render_stream(stream, pre)
+        return self.render_stream(stream, pre, crop_cache=crop_cache)
 
-    def render_stream(self, stream, pre=None):
+    def render_stream(self, stream, pre=None, crop_cache=None):
         """Render an existing fragment stream (skips re-rasterisation)."""
         model = self.kernel_model
         n_gaussians = (pre.n_input if pre is not None
@@ -168,7 +173,8 @@ class HardwareRenderer:
         n_visible = stream.prim_colors.shape[0]
         preprocess_cycles = model.preprocess_cycles(n_gaussians, 0)
         sort_cycles = model.sort_cycles(n_visible)
-        draw = GraphicsPipeline(self.config).draw(stream)
+        draw = GraphicsPipeline(self.config).draw(stream,
+                                                  crop_cache=crop_cache)
         early_term = self.config.enable_het
         image, alpha = stream.blend_image(
             early_term=early_term, threshold=self.config.termination_alpha)

@@ -1,0 +1,56 @@
+"""Trajectory rendering engine: backends, sessions, execution, caching.
+
+The engine is the platform layer every scaling feature plugs into.  It
+unifies the library's three rendering paths behind one
+:class:`~repro.engine.backends.RendererBackend` protocol, simulates
+multi-frame trajectories through :class:`~repro.engine.session.RenderSession`,
+fans independent frames out over the parallel executor, and memoises
+results in-process and on disk (:mod:`repro.engine.cache`).
+"""
+
+from repro.engine.backends import (
+    FrameResult,
+    RendererBackend,
+    available_backends,
+    create_backend,
+    make_cuda_renderer,
+    make_device,
+    register_backend,
+)
+from repro.engine.cache import (
+    ResultCache,
+    Scenario,
+    clear_cache,
+    get_cloud,
+    get_draw,
+    get_scenario,
+)
+from repro.engine.executor import frame_seed, run_frames
+from repro.engine.session import (
+    FrameRecord,
+    RenderSession,
+    TrajectoryResult,
+    geomean,
+)
+
+__all__ = [
+    "FrameRecord",
+    "FrameResult",
+    "RendererBackend",
+    "RenderSession",
+    "ResultCache",
+    "Scenario",
+    "TrajectoryResult",
+    "available_backends",
+    "clear_cache",
+    "create_backend",
+    "frame_seed",
+    "geomean",
+    "get_cloud",
+    "get_draw",
+    "get_scenario",
+    "make_cuda_renderer",
+    "make_device",
+    "register_backend",
+    "run_frames",
+]

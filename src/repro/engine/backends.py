@@ -1,0 +1,259 @@
+"""Unified renderer backends: one protocol over every rendering path.
+
+The library grew three divergent entry points — the hardware pipeline
+(:class:`~repro.core.vrpipe.HardwareRenderer`), the CUDA-style software
+renderer (:class:`~repro.swrender.renderer.CudaRenderer`), and the
+reference blender — each with its own result type.  This module puts them
+behind a single :class:`RendererBackend` protocol returning a common
+:class:`FrameResult`, and a string-keyed registry so callers (sessions,
+the CLI, experiments) select a path by spec:
+
+==============  ======================================================
+spec            path
+==============  ======================================================
+``hw:baseline``  hardware pipeline, no VR-Pipe extensions
+``hw:qm``        hardware pipeline + quad merging (TGC/QRU)
+``hw:het``       hardware pipeline + hardware early termination
+``hw:het+qm``    full VR-Pipe
+``cuda``         CUDA-style software renderer, no early termination
+``cuda+et``      CUDA-style software renderer with early termination
+``reference``    ground-truth blender (functional only, no timing)
+==============  ======================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+from repro.core.vrpipe import VARIANTS, HardwareRenderer, variant_config
+from repro.gaussians.preprocess import preprocess
+from repro.hwmodel.caches import LRUCache
+from repro.hwmodel.config import jetson_agx_orin, rtx_3090
+from repro.render.fragstream import DEFAULT_TERMINATION_ALPHA
+from repro.render.splat_raster import rasterize_splats
+from repro.swrender.renderer import CudaRenderer, SWKernelModel
+
+
+def make_device(device_name):
+    """Device presets shared by every backend and the experiments."""
+    if device_name == "orin":
+        return jetson_agx_orin()
+    if device_name == "rtx3090":
+        return rtx_3090()
+    raise ValueError(f"unknown device {device_name!r}; use 'orin' or 'rtx3090'")
+
+
+def device_kernel_model(device):
+    """The calibrated CUDA-kernel model matched to ``device``'s SM array."""
+    return SWKernelModel(issue_slots=float(device.sm_issue_slots_per_cycle))
+
+
+def make_cuda_renderer(device_name="orin", early_term=True):
+    """A CUDA-path renderer matched to the device's clock and SM count."""
+    device = make_device(device_name)
+    return CudaRenderer(kernel_model=device_kernel_model(device),
+                        frequency_hz=device.frequency_hz(),
+                        early_term=early_term)
+
+
+@dataclass
+class FrameResult:
+    """One rendered frame in the engine's common schema.
+
+    ``cycles``/``ms``/``fps`` are ``None`` for the reference backend,
+    which is functional-only.  ``kernels`` is the per-kernel millisecond
+    breakdown (preprocess / sort / rasterize) when the path models it.
+    ``pipeline_stats`` carries the hardware model's
+    :class:`~repro.hwmodel.stats.PipelineStats` when available, and
+    ``raw`` the backend's native result object.
+    """
+
+    backend: str
+    image: object
+    alpha: object
+    cycles: float | None = None
+    ms: float | None = None
+    fps: float | None = None
+    kernels: dict = field(default_factory=dict)
+    et_ratio: float | None = None
+    pipeline_stats: object | None = None
+    raw: object | None = None
+
+
+@runtime_checkable
+class RendererBackend(Protocol):
+    """What every registered backend implements."""
+
+    spec: str
+
+    def render(self, cloud, camera, crop_cache=None) -> FrameResult:
+        """Render a Gaussian cloud from a camera."""
+        ...
+
+    def render_stream(self, stream, pre=None, crop_cache=None) -> FrameResult:
+        """Render an already-rasterised fragment stream."""
+        ...
+
+    def new_crop_cache(self):
+        """A persistent CROP cache for cross-frame reuse, or ``None``."""
+        ...
+
+
+class HardwareBackend:
+    """Hardware (OpenGL-path) rendering under one VR-Pipe variant."""
+
+    def __init__(self, spec, variant, device):
+        self.spec = spec
+        self.variant = variant
+        self.config = variant_config(variant, device)
+        self.renderer = HardwareRenderer(
+            config=self.config, kernel_model=device_kernel_model(device))
+
+    def render(self, cloud, camera, crop_cache=None):
+        res = self.renderer.render(cloud, camera, crop_cache=crop_cache)
+        return self._wrap(res)
+
+    def render_stream(self, stream, pre=None, crop_cache=None):
+        res = self.renderer.render_stream(stream, pre, crop_cache=crop_cache)
+        return self._wrap(res)
+
+    def new_crop_cache(self):
+        return LRUCache(self.config.crop_cache_kb * 1024,
+                        self.config.cache_line_bytes)
+
+    def _wrap(self, res):
+        return FrameResult(
+            backend=self.spec,
+            image=res.image,
+            alpha=res.alpha,
+            cycles=res.total_cycles,
+            ms=res.total_ms(),
+            fps=res.fps(),
+            kernels=res.breakdown_ms(),
+            et_ratio=res.stream.termination_ratio(
+                self.config.termination_alpha),
+            pipeline_stats=res.draw.stats,
+            raw=res,
+        )
+
+
+class CudaBackend:
+    """CUDA-style software rendering (Figure 5's SW path)."""
+
+    def __init__(self, spec, device, early_term):
+        self.spec = spec
+        self.renderer = CudaRenderer(
+            kernel_model=device_kernel_model(device),
+            frequency_hz=device.frequency_hz(),
+            early_term=early_term)
+
+    def render(self, cloud, camera, crop_cache=None):
+        self._check_no_cache(crop_cache)
+        return self._wrap(self.renderer.render(cloud, camera))
+
+    def render_stream(self, stream, pre=None, crop_cache=None):
+        self._check_no_cache(crop_cache)
+        return self._wrap(self.renderer.render_stream(stream, pre))
+
+    def new_crop_cache(self):
+        return None
+
+    def _check_no_cache(self, crop_cache):
+        if crop_cache is not None:
+            raise ValueError(
+                f"backend {self.spec!r} has no CROP cache to persist")
+
+    def _wrap(self, res):
+        return FrameResult(
+            backend=self.spec,
+            image=res.image,
+            alpha=res.alpha,
+            cycles=res.timing.total_cycles,
+            ms=res.timing.total_ms(),
+            fps=res.timing.fps(),
+            kernels=res.timing.breakdown_ms(),
+            et_ratio=res.stream.termination_ratio(self.renderer.threshold),
+            pipeline_stats=None,
+            raw=res,
+        )
+
+
+class ReferenceBackend:
+    """Ground-truth blender: functional output only, no timing model."""
+
+    def __init__(self, spec, device=None):
+        self.spec = spec
+
+    def render(self, cloud, camera, crop_cache=None):
+        self._check_no_cache(crop_cache)
+        pre = preprocess(cloud, camera)
+        stream = rasterize_splats(pre.splats, camera.width, camera.height)
+        return self.render_stream(stream, pre)
+
+    def render_stream(self, stream, pre=None, crop_cache=None):
+        self._check_no_cache(crop_cache)
+        image, alpha = stream.blend_image(early_term=False)
+        return FrameResult(
+            backend=self.spec,
+            image=image,
+            alpha=alpha,
+            et_ratio=stream.termination_ratio(DEFAULT_TERMINATION_ALPHA),
+            raw=stream,
+        )
+
+    def new_crop_cache(self):
+        return None
+
+    def _check_no_cache(self, crop_cache):
+        if crop_cache is not None:
+            raise ValueError(
+                f"backend {self.spec!r} has no CROP cache to persist")
+
+
+_REGISTRY = {}
+
+
+def register_backend(spec, factory):
+    """Register ``factory(spec, device) -> backend`` under ``spec``."""
+    if spec in _REGISTRY:
+        raise ValueError(f"backend {spec!r} is already registered")
+    _REGISTRY[spec] = factory
+
+
+def available_backends():
+    """Registered backend specs, sorted."""
+    return sorted(_REGISTRY)
+
+
+def create_backend(spec, device=None, device_name="orin"):
+    """Instantiate the backend registered under ``spec``.
+
+    ``device`` (a :class:`~repro.hwmodel.config.GPUConfig`) overrides the
+    ``device_name`` preset.
+    """
+    try:
+        factory = _REGISTRY[spec]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {spec!r}; available: {available_backends()}"
+        ) from None
+    if device is None:
+        device = make_device(device_name)
+    return factory(spec, device)
+
+
+def _register_defaults():
+    for variant in VARIANTS:
+        register_backend(
+            f"hw:{variant}",
+            lambda spec, device, v=variant: HardwareBackend(spec, v, device))
+    register_backend(
+        "cuda", lambda spec, device: CudaBackend(spec, device, early_term=False))
+    register_backend(
+        "cuda+et", lambda spec, device: CudaBackend(spec, device, early_term=True))
+    register_backend(
+        "reference", lambda spec, device: ReferenceBackend(spec, device))
+
+
+_register_defaults()

@@ -1,0 +1,163 @@
+"""Engine result caching: in-process memoisation plus an on-disk layer.
+
+This module owns the caches that :mod:`repro.experiments.runner` used to
+keep as module-level dicts.  Two layers:
+
+* an **in-process memo** of expensive intermediates — scene clouds,
+  preprocessed fragment streams (:class:`Scenario`), and per-variant
+  pipeline draws — so a figure suite simulates each (scene, variant)
+  pair exactly once per process;
+* a **content-keyed disk cache** (:class:`ResultCache`) for trajectory
+  results: the key hashes everything that determines the numbers (scene
+  profile contents, seed, backend/baseline specs, device, view count and
+  an engine schema version), so editing a scene or bumping the schema
+  invalidates stale entries automatically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.core.vrpipe import VARIANTS, run_variant
+from repro.engine.backends import make_device
+from repro.gaussians.preprocess import preprocess
+from repro.render.splat_raster import rasterize_splats
+from repro.workloads.catalog import build_scene, get_profile
+
+#: Bump when the cached trajectory payload layout changes.
+CACHE_SCHEMA = 1
+
+_SCENARIO_MEMO = {}
+_DRAW_MEMO = {}
+
+
+class Scenario:
+    """Everything derived from one (scene, viewpoint): cloud -> stream."""
+
+    def __init__(self, profile, cloud, camera, pre, stream):
+        self.profile = profile
+        self.cloud = cloud
+        self.camera = camera
+        self.pre = pre
+        self.stream = stream
+
+    @property
+    def name(self):
+        return self.profile.name
+
+
+def get_cloud(name, seed=0):
+    """Build (or fetch) the Gaussian cloud for a catalogued scene."""
+    key = (name, seed)
+    if key not in _SCENARIO_MEMO:
+        _SCENARIO_MEMO[key] = build_scene(get_profile(name), seed=seed)
+    return _SCENARIO_MEMO[key]
+
+
+def get_scenario(name, seed=0, camera=None, view_key=None):
+    """Build (or fetch) the scenario for a scene's default viewpoint.
+
+    ``camera``/``view_key`` support viewpoint sweeps: pass an explicit
+    camera and a hashable key identifying it.
+    """
+    key = (name, seed, view_key)
+    if key not in _SCENARIO_MEMO:
+        profile = get_profile(name)
+        cloud = get_cloud(name, seed)
+        cam = camera if camera is not None else profile.camera()
+        pre = preprocess(cloud, cam)
+        stream = rasterize_splats(pre.splats, cam.width, cam.height)
+        _SCENARIO_MEMO[key] = Scenario(profile, cloud, cam, pre, stream)
+    return _SCENARIO_MEMO[key]
+
+
+def get_draw(name, variant, device_name="orin", seed=0):
+    """Cached pipeline simulation of ``variant`` on a scene."""
+    if variant not in VARIANTS:
+        raise ValueError(f"unknown variant {variant!r}")
+    key = (name, variant, device_name, seed)
+    if key not in _DRAW_MEMO:
+        scenario = get_scenario(name, seed)
+        device = make_device(device_name)
+        _DRAW_MEMO[key] = run_variant(scenario.stream, variant, device)
+    return _DRAW_MEMO[key]
+
+
+def clear_cache():
+    """Drop all memoised scenarios and draws (tests use this)."""
+    _SCENARIO_MEMO.clear()
+    _DRAW_MEMO.clear()
+
+
+def content_key(payload):
+    """Stable hex digest of a JSON-serialisable payload dict."""
+    blob = json.dumps(payload, sort_keys=True, default=_jsonify)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def trajectory_key(profile, seed, backend, baseline, device_name, n_views,
+                   warm_crop_cache):
+    """Content key for one trajectory run's disk-cache entry."""
+    return content_key({
+        "schema": CACHE_SCHEMA,
+        "profile": asdict(profile),
+        "seed": int(seed),
+        "backend": backend,
+        "baseline": baseline,
+        "device": device_name,
+        "n_views": int(n_views),
+        "warm_crop_cache": bool(warm_crop_cache),
+    })
+
+
+def _jsonify(obj):
+    if isinstance(obj, tuple):
+        return list(obj)
+    return str(obj)
+
+
+class ResultCache:
+    """On-disk JSON store for trajectory results, keyed by content hash.
+
+    Entries hold the numeric per-frame records and run metadata — not
+    images — so a hit reproduces every statistic bit-for-bit while the
+    store stays small.  A missing/corrupt entry reads as a miss.
+    """
+
+    def __init__(self, root):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key):
+        return self.root / f"{key}.json"
+
+    def load(self, key):
+        """The stored payload dict for ``key``, or ``None`` on a miss."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if payload.get("schema") != CACHE_SCHEMA:
+            return None
+        return payload
+
+    def store(self, key, payload):
+        """Persist ``payload`` under ``key`` (atomic rename)."""
+        payload = dict(payload, schema=CACHE_SCHEMA)
+        tmp = self._path(key).with_suffix(".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh)
+        tmp.replace(self._path(key))
+
+    def clear(self):
+        """Delete every stored entry."""
+        for path in self.root.glob("*.json"):
+            path.unlink()
+
+    def __len__(self):
+        return sum(1 for _ in self.root.glob("*.json"))

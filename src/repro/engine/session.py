@@ -1,0 +1,303 @@
+"""Multi-frame simulation sessions along viewpoint trajectories.
+
+The paper's headline aggregates (Figures 16/17/21) are statistics over
+*many viewpoints per scene*.  A :class:`RenderSession` owns one
+(scene, backend, device) configuration and simulates whole frame
+sequences along the scene's orbit trajectory
+(:func:`repro.workloads.viewpoints.scene_viewpoints`), producing a
+:class:`TrajectoryResult` with per-frame records and aggregate
+statistics (geomean speedup over a baseline backend, FPS percentiles,
+the early-termination-ratio distribution).
+
+Cross-frame state is carried correctly: with ``warm_crop_cache`` the
+backend's CROP cache persists across frames (the ``crop_cache`` hook of
+the pipeline model), while the HET termination stencil is cleared every
+frame — a fresh ZROP unit per draw, as in hardware.  Warm-cache runs are
+serial by construction; stateless runs fan out over the parallel
+executor and return bit-identical records in either mode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine import cache as engine_cache
+from repro.engine.backends import create_backend
+from repro.engine.executor import frame_seed, run_frames
+from repro.gaussians.preprocess import preprocess
+from repro.render.splat_raster import rasterize_splats
+from repro.workloads.catalog import SceneProfile, build_scene, get_profile
+from repro.workloads.viewpoints import scene_viewpoints
+
+
+def geomean(values):
+    """Geometric mean of positive values."""
+    values = np.asarray(list(values), dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("geomean of empty sequence")
+    if np.any(values <= 0):
+        raise ValueError("geomean requires positive values")
+    return float(np.exp(np.mean(np.log(values))))
+
+
+class FrameRecord:
+    """Numeric summary of one trajectory frame.
+
+    ``result`` holds the full :class:`~repro.engine.backends.FrameResult`
+    (with images) only when the session ran with ``keep_results=True``;
+    by default — and for records restored from the disk cache — it is
+    ``None``, so long trajectories never pin every frame's image and
+    fragment stream in memory at once.
+    """
+
+    _FIELDS = ("index", "backend", "seed", "cycles", "ms", "fps",
+               "et_ratio", "kernels", "baseline_cycles", "speedup")
+
+    def __init__(self, index, backend, seed, cycles=None, ms=None, fps=None,
+                 et_ratio=None, kernels=None, baseline_cycles=None,
+                 speedup=None, result=None):
+        self.index = int(index)
+        self.backend = backend
+        self.seed = int(seed)
+        self.cycles = cycles
+        self.ms = ms
+        self.fps = fps
+        self.et_ratio = et_ratio
+        self.kernels = dict(kernels) if kernels else {}
+        self.baseline_cycles = baseline_cycles
+        self.speedup = speedup
+        self.result = result
+
+    def to_dict(self):
+        return {name: getattr(self, name) for name in self._FIELDS}
+
+    @classmethod
+    def from_dict(cls, payload):
+        return cls(**{name: payload.get(name) for name in cls._FIELDS})
+
+    def __repr__(self):
+        ms = f"{self.ms:.3f}" if self.ms is not None else "-"
+        return (f"FrameRecord(index={self.index}, backend={self.backend!r}, "
+                f"ms={ms}, et_ratio={self.et_ratio})")
+
+
+class TrajectoryResult:
+    """Per-frame records plus aggregates for one trajectory run."""
+
+    def __init__(self, scene, backend, baseline, device, seed, records,
+                 from_cache=False):
+        self.scene = scene
+        self.backend = backend
+        self.baseline = baseline
+        self.device = device
+        self.seed = int(seed)
+        self.records = list(records)
+        self.from_cache = bool(from_cache)
+
+    @property
+    def n_frames(self):
+        return len(self.records)
+
+    def aggregates(self):
+        """Summary statistics over the trajectory's frames.
+
+        Always reports the frame count and the early-termination-ratio
+        distribution; timing aggregates (ms, FPS percentiles) appear when
+        the backend models time, and ``geomean_speedup`` when a baseline
+        backend ran alongside.
+        """
+        agg = {"frames": self.n_frames}
+        ratios = [r.et_ratio for r in self.records if r.et_ratio is not None]
+        if ratios:
+            ratios = np.asarray(ratios, dtype=np.float64)
+            agg["et_ratio_mean"] = float(ratios.mean())
+            agg["et_ratio_min"] = float(ratios.min())
+            agg["et_ratio_max"] = float(ratios.max())
+        times = [r.ms for r in self.records if r.ms is not None]
+        if times:
+            agg["mean_ms"] = float(np.mean(times))
+            agg["total_ms"] = float(np.sum(times))
+        fps = [r.fps for r in self.records if r.fps is not None]
+        if fps:
+            fps = np.asarray(fps, dtype=np.float64)
+            agg["fps_p5"] = float(np.percentile(fps, 5))
+            agg["fps_p50"] = float(np.percentile(fps, 50))
+            agg["fps_p95"] = float(np.percentile(fps, 95))
+        speedups = [r.speedup for r in self.records if r.speedup is not None]
+        if speedups:
+            agg["geomean_speedup"] = geomean(speedups)
+        return agg
+
+    def to_dict(self):
+        return {
+            "scene": self.scene,
+            "backend": self.backend,
+            "baseline": self.baseline,
+            "device": self.device,
+            "seed": self.seed,
+            "records": [r.to_dict() for r in self.records],
+        }
+
+    @classmethod
+    def from_dict(cls, payload, from_cache=False):
+        return cls(
+            scene=payload["scene"],
+            backend=payload["backend"],
+            baseline=payload.get("baseline"),
+            device=payload.get("device", "orin"),
+            seed=payload.get("seed", 0),
+            records=[FrameRecord.from_dict(r) for r in payload["records"]],
+            from_cache=from_cache,
+        )
+
+    def __repr__(self):
+        return (f"TrajectoryResult(scene={self.scene!r}, "
+                f"backend={self.backend!r}, frames={self.n_frames}, "
+                f"from_cache={self.from_cache})")
+
+
+class _FrameTask:
+    """One frame's inputs: orbit index, camera, deterministic seed."""
+
+    def __init__(self, index, camera, seed):
+        self.index = index
+        self.camera = camera
+        self.seed = seed
+
+
+class RenderSession:
+    """Simulate frame sequences of one scene through one backend.
+
+    Parameters
+    ----------
+    scene:
+        Catalogue scene name or a :class:`SceneProfile`.
+    backend:
+        Backend spec (see :mod:`repro.engine.backends`).
+    baseline:
+        Spec of a second backend rendered on the *same* per-frame stream
+        for speedup statistics.  ``"auto"`` picks ``hw:baseline`` for
+        hardware backends (and nothing otherwise); ``None`` disables it.
+    device:
+        Device preset name (``orin`` / ``rtx3090``).
+    seed:
+        Scene-construction seed; per-frame seeds derive from it
+        deterministically via :func:`repro.engine.executor.frame_seed`.
+    warm_crop_cache:
+        Persist the backend's CROP cache across the trajectory's frames
+        (forces serial execution; hardware backends only).
+    result_cache:
+        Optional :class:`~repro.engine.cache.ResultCache`; trajectory
+        runs are served from disk on a content-key hit.
+    """
+
+    def __init__(self, scene, backend="hw:het+qm", baseline="auto",
+                 device="orin", seed=0, warm_crop_cache=False,
+                 result_cache=None):
+        self.profile = (scene if isinstance(scene, SceneProfile)
+                        else get_profile(scene))
+        self.backend_spec = backend
+        self.device_name = device
+        self.seed = int(seed)
+        self.backend = create_backend(backend, device_name=device)
+        if baseline == "auto":
+            baseline = ("hw:baseline"
+                        if backend.startswith("hw:") and backend != "hw:baseline"
+                        else None)
+        self.baseline_spec = baseline
+        self.baseline = (create_backend(baseline, device_name=device)
+                         if baseline else None)
+        self.warm_crop_cache = bool(warm_crop_cache)
+        self.result_cache = result_cache
+        self._cloud = None
+
+    @property
+    def cloud(self):
+        """The scene's Gaussian cloud (built once, shared by all frames)."""
+        if self._cloud is None:
+            try:
+                catalogued = get_profile(self.profile.name) is self.profile
+            except KeyError:
+                catalogued = False
+            if catalogued:
+                self._cloud = engine_cache.get_cloud(self.profile.name,
+                                                     self.seed)
+            else:
+                self._cloud = build_scene(self.profile, seed=self.seed)
+        return self._cloud
+
+    def render_frame(self, camera=None, crop_cache=None):
+        """Render a single frame; defaults to the profile's camera.
+
+        Delegates straight to the backend, so the output is bit-identical
+        to calling the underlying renderer directly.
+        """
+        cam = camera if camera is not None else self.profile.camera()
+        return self.backend.render(self.cloud, cam, crop_cache=crop_cache)
+
+    def run(self, n_views=8, jobs=1, keep_results=False):
+        """Simulate ``n_views`` frames along the scene's orbit trajectory.
+
+        ``keep_results=True`` attaches each frame's full
+        :class:`~repro.engine.backends.FrameResult` (image, alpha, raw
+        renderer output) to its record; the default keeps only the
+        numeric summaries, so memory stays flat however long the
+        trajectory is.
+        """
+        if n_views <= 0:
+            raise ValueError(f"n_views must be positive, got {n_views}")
+        key = None
+        if self.result_cache is not None:
+            key = engine_cache.trajectory_key(
+                self.profile, self.seed, self.backend_spec,
+                self.baseline_spec, self.device_name, n_views,
+                self.warm_crop_cache)
+            hit = self.result_cache.load(key)
+            if hit is not None:
+                return TrajectoryResult.from_dict(hit, from_cache=True)
+
+        crop_cache = None
+        if self.warm_crop_cache:
+            if jobs is not None and jobs > 1:
+                raise ValueError(
+                    "warm_crop_cache carries state across frames and "
+                    "requires serial execution (jobs=1)")
+            crop_cache = self.backend.new_crop_cache()
+            if crop_cache is None:
+                raise ValueError(
+                    f"backend {self.backend_spec!r} has no CROP cache to "
+                    "keep warm")
+
+        cameras = scene_viewpoints(self.profile, n_views)
+        tasks = [
+            _FrameTask(k, cam, frame_seed(self.profile.name, self.seed, k))
+            for k, cam in enumerate(cameras)
+        ]
+        cloud = self.cloud  # build outside the workers, share read-only
+
+        def render_one(task):
+            pre = preprocess(cloud, task.camera)
+            stream = rasterize_splats(pre.splats, task.camera.width,
+                                      task.camera.height)
+            frame = self.backend.render_stream(stream, pre,
+                                               crop_cache=crop_cache)
+            record = FrameRecord(
+                index=task.index, backend=self.backend_spec, seed=task.seed,
+                cycles=frame.cycles, ms=frame.ms, fps=frame.fps,
+                et_ratio=frame.et_ratio, kernels=frame.kernels,
+                result=frame if keep_results else None)
+            if self.baseline is not None:
+                base = self.baseline.render_stream(stream, pre)
+                record.baseline_cycles = base.cycles
+                if base.cycles and frame.cycles:
+                    record.speedup = base.cycles / frame.cycles
+            return record
+
+        records = run_frames(render_one, tasks, jobs=jobs)
+        result = TrajectoryResult(
+            scene=self.profile.name, backend=self.backend_spec,
+            baseline=self.baseline_spec, device=self.device_name,
+            seed=self.seed, records=records)
+        if key is not None:
+            self.result_cache.store(key, result.to_dict())
+        return result

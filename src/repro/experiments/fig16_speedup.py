@@ -8,7 +8,8 @@ Paper results to match in shape: QM up to ~1.5x, HET ~1.8x average, HET+QM
 from __future__ import annotations
 
 from repro.core.vrpipe import VARIANTS
-from repro.experiments.runner import format_table, geomean, get_draw
+from repro.engine.cache import get_draw
+from repro.experiments.runner import format_table, geomean
 from repro.workloads.catalog import scene_names
 
 

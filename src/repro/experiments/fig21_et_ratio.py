@@ -1,36 +1,37 @@
 """Figure 21: early-termination ratio across viewpoints.
 
-For each scene, sweep orbit viewpoints and report the ratio of fragments
-blended without early termination to those blended with it.  Paper claims
-to reproduce: outdoor scenes average higher than indoor/synthetic, and
-every scene's average exceeds 1.5 (>= 33% of fragments eliminable).
+For each scene, a :class:`~repro.engine.session.RenderSession` sweeps the
+orbit trajectory and reports the ratio of fragments blended without early
+termination to those blended with it.  Paper claims to reproduce: outdoor
+scenes average higher than indoor/synthetic, and every scene's average
+exceeds 1.5 (>= 33% of fragments eliminable).
+
+Routing through the session means each viewpoint is rendered (one
+vectorised reference blend) rather than only ratio-counted — the price
+of sharing the engine's trajectory machinery, parallelism (``jobs``),
+and disk cache with every other consumer.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.experiments.runner import format_table, get_scenario
+from repro.engine.session import RenderSession
+from repro.experiments.runner import format_table
 from repro.workloads.catalog import scene_names
-from repro.workloads.viewpoints import scene_viewpoints
 
 
-def run(scenes=None, n_views=8):
+def run(scenes=None, n_views=8, jobs=1):
     """``{scene: {"ratios": [...], "mean": m, "min": lo, "max": hi}}``."""
     scenes = list(scenes) if scenes is not None else scene_names()
     out = {}
     for name in scenes:
-        ratios = []
-        for k, camera in enumerate(scene_viewpoints(name, n_views)):
-            scenario = get_scenario(name, camera=camera,
-                                    view_key=f"orbit{n_views}-{k}")
-            ratios.append(scenario.stream.termination_ratio())
-        ratios = np.asarray(ratios)
+        session = RenderSession(name, backend="reference", baseline=None)
+        trajectory = session.run(n_views=n_views, jobs=jobs)
+        agg = trajectory.aggregates()
         out[name] = {
-            "ratios": ratios.tolist(),
-            "mean": float(ratios.mean()),
-            "min": float(ratios.min()),
-            "max": float(ratios.max()),
+            "ratios": [r.et_ratio for r in trajectory.records],
+            "mean": agg["et_ratio_mean"],
+            "min": agg["et_ratio_min"],
+            "max": agg["et_ratio_max"],
         }
     return out
 

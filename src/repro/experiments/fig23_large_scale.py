@@ -7,8 +7,9 @@ shows ~1.8-2.1x).
 
 from __future__ import annotations
 
+from repro.engine.cache import get_draw
 from repro.experiments.fig06_utilization import REPORTED_UNITS
-from repro.experiments.runner import format_table, get_draw
+from repro.experiments.runner import format_table
 from repro.workloads.catalog import LARGE_SCALE_SCENES
 
 

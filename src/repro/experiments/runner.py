@@ -1,105 +1,24 @@
-"""Shared scenario construction, caching, and table formatting.
+"""Shared experiment helpers: cached scenarios/draws and table formatting.
 
-Experiments share expensive intermediates (scene clouds, fragment streams,
-per-variant pipeline results); this module memoises them per process.  The
-cache is keyed by scene name and seed, so figure modules stay tiny and the
-full experiment suite runs each simulation exactly once.
+Scenario construction and draw memoisation live in the engine layer now
+(:mod:`repro.engine.cache` — one in-process memo shared by figures,
+sessions, and the CLI); this module re-exports them so figure modules
+keep their historical imports, and owns the plain-text table renderer.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.core.vrpipe import VARIANTS, run_variant
-from repro.gaussians.preprocess import preprocess
-from repro.hwmodel.config import jetson_agx_orin, rtx_3090
-from repro.render.splat_raster import rasterize_splats
-from repro.swrender.renderer import CudaRenderer, SWKernelModel
-from repro.workloads.catalog import build_scene, get_profile
-
-_SCENARIOS = {}
-_DRAWS = {}
-
-
-class Scenario:
-    """Everything derived from one (scene, viewpoint): cloud -> stream."""
-
-    def __init__(self, profile, cloud, camera, pre, stream):
-        self.profile = profile
-        self.cloud = cloud
-        self.camera = camera
-        self.pre = pre
-        self.stream = stream
-
-    @property
-    def name(self):
-        return self.profile.name
-
-
-def get_scenario(name, seed=0, camera=None, view_key=None):
-    """Build (or fetch) the scenario for a scene's default viewpoint.
-
-    ``camera``/``view_key`` support the Figure 21 viewpoint sweep: pass an
-    explicit camera and a hashable key identifying it.
-    """
-    key = (name, seed, view_key)
-    if key not in _SCENARIOS:
-        profile = get_profile(name)
-        cloud_key = (name, seed, "__cloud__")
-        if cloud_key not in _SCENARIOS:
-            _SCENARIOS[cloud_key] = build_scene(profile, seed=seed)
-        cloud = _SCENARIOS[cloud_key]
-        cam = camera if camera is not None else profile.camera()
-        pre = preprocess(cloud, cam)
-        stream = rasterize_splats(pre.splats, cam.width, cam.height)
-        _SCENARIOS[key] = Scenario(profile, cloud, cam, pre, stream)
-    return _SCENARIOS[key]
-
-
-def get_draw(name, variant, device_name="orin", seed=0):
-    """Cached pipeline simulation of ``variant`` on a scene."""
-    if variant not in VARIANTS:
-        raise ValueError(f"unknown variant {variant!r}")
-    key = (name, variant, device_name, seed)
-    if key not in _DRAWS:
-        scenario = get_scenario(name, seed)
-        device = make_device(device_name)
-        _DRAWS[key] = run_variant(scenario.stream, variant, device)
-    return _DRAWS[key]
-
-
-def make_device(device_name):
-    """Device presets used by the experiments."""
-    if device_name == "orin":
-        return jetson_agx_orin()
-    if device_name == "rtx3090":
-        return rtx_3090()
-    raise ValueError(f"unknown device {device_name!r}; use 'orin' or 'rtx3090'")
-
-
-def make_cuda_renderer(device_name="orin", early_term=True):
-    """A CUDA-path renderer matched to the device's clock and SM count."""
-    device = make_device(device_name)
-    kernel = SWKernelModel(issue_slots=float(device.sm_issue_slots_per_cycle))
-    return CudaRenderer(kernel_model=kernel,
-                        frequency_hz=device.frequency_hz(),
-                        early_term=early_term)
-
-
-def clear_cache():
-    """Drop all memoised scenarios and draws (tests use this)."""
-    _SCENARIOS.clear()
-    _DRAWS.clear()
-
-
-def geomean(values):
-    """Geometric mean of positive values."""
-    values = np.asarray(list(values), dtype=np.float64)
-    if values.size == 0:
-        raise ValueError("geomean of empty sequence")
-    if np.any(values <= 0):
-        raise ValueError("geomean requires positive values")
-    return float(np.exp(np.mean(np.log(values))))
+from repro.engine.backends import (  # noqa: F401  (re-exports)
+    make_cuda_renderer,
+    make_device,
+)
+from repro.engine.cache import (  # noqa: F401  (re-exports)
+    Scenario,
+    clear_cache,
+    get_scenario,
+    get_draw,
+)
+from repro.engine.session import geomean  # noqa: F401  (re-export)
 
 
 def format_table(headers, rows, title=None):

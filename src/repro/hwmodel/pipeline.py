@@ -19,6 +19,8 @@ produces the utilisation report of Figure 6.
 
 from __future__ import annotations
 
+from collections import deque
+
 import numpy as np
 
 from repro.hwmodel.config import GPUConfig
@@ -241,12 +243,12 @@ class GraphicsPipeline:
         """VR-Pipe order: the TGC unit groups primitives per tile grid."""
         cfg = self.config
         tgc = TileGridCoalescer(cfg.n_tgc_bins, cfg.tgc_bin_prims)
-        flushes = []
+        flushes = deque()
         for prim in workload.prims_with_quads:
             for grid in workload.prim_grids[prim]:
                 flushes.extend(tgc.insert(int(grid), prim))
             while flushes:
-                grid_id, prims, _reason = flushes.pop(0)
+                grid_id, prims, _reason = flushes.popleft()
                 self._rasterize_grid_group(grid_id, prims, workload, raster,
                                            tc, crop, zrop, shader, stats)
         for grid_id, prims, _reason in tgc.drain():

@@ -260,7 +260,13 @@ def get_profile(name):
 
 
 def build_scene(name_or_profile, seed=0):
-    """Construct the Gaussian cloud for a scene profile."""
+    """Construct the Gaussian cloud for a scene profile.
+
+    The result always holds exactly ``profile.n_gaussians`` Gaussians:
+    builders round block sizes, so the cloud is trimmed or topped up
+    deterministically (top-up repeats existing Gaussians in order, which
+    preserves the scene's spatial statistics).
+    """
     profile = (name_or_profile if isinstance(name_or_profile, SceneProfile)
                else get_profile(name_or_profile))
     # Deterministic across processes: hash() varies with PYTHONHASHSEED.
@@ -268,10 +274,16 @@ def build_scene(name_or_profile, seed=0):
         zlib.crc32(profile.name.encode("ascii")) + seed)
     builder = _BUILDERS[profile.scene_type]
     cloud = builder(profile, rng)
-    if len(cloud) != profile.n_gaussians:
-        # Builders round block sizes; trim or top up deterministically.
-        if len(cloud) > profile.n_gaussians:
-            cloud = cloud.subset(np.arange(profile.n_gaussians))
+    if len(cloud) > profile.n_gaussians:
+        cloud = cloud.subset(np.arange(profile.n_gaussians))
+    elif len(cloud) < profile.n_gaussians:
+        if len(cloud) == 0:
+            raise ValueError(
+                f"builder for {profile.scene_type!r} produced an empty "
+                f"cloud; cannot reach n_gaussians={profile.n_gaussians}")
+        deficit = profile.n_gaussians - len(cloud)
+        filler = np.arange(deficit) % len(cloud)
+        cloud = GaussianCloud.concatenate([cloud, cloud.subset(filler)])
     return cloud
 
 

@@ -25,6 +25,21 @@ class TestParser:
             build_parser().parse_args(
                 ["simulate", "--scene", "lego", "--variant", "turbo"])
 
+    def test_trajectory_args(self):
+        args = build_parser().parse_args(
+            ["trajectory", "--scene", "train", "--backend", "hw:het+qm",
+             "--views", "24", "--jobs", "4"])
+        assert args.scene == "train"
+        assert args.backend == "hw:het+qm"
+        assert args.views == 24
+        assert args.jobs == 4
+        assert args.baseline == "auto"
+
+    def test_trajectory_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["trajectory", "--scene", "train", "--backend", "vulkan"])
+
 
 class TestCommands:
     def test_list_scenes(self, capsys):
@@ -55,3 +70,19 @@ class TestCommands:
     def test_experiment_fig01(self, capsys):
         assert main(["experiment", "fig01"]) == 0
         assert "Figure 1" in capsys.readouterr().out
+
+    def test_trajectory(self, capsys):
+        assert main(["trajectory", "--scene", "lego", "--backend",
+                     "hw:het+qm", "--views", "2", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Trajectory: lego / hw:het+qm" in out
+        assert "geomean_speedup" in out
+        assert "fps_p50" in out
+
+    def test_trajectory_disk_cache(self, tmp_path, capsys):
+        argv = ["trajectory", "--scene", "lego", "--views", "2",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        assert "from disk cache" in capsys.readouterr().out

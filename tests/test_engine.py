@@ -1,0 +1,160 @@
+"""Engine layer: backend registry, sessions, parallel execution, caching."""
+
+import numpy as np
+import pytest
+
+from repro.core.vrpipe import HardwareRenderer, variant_config
+from repro.engine import (
+    RenderSession,
+    ResultCache,
+    available_backends,
+    clear_cache,
+    create_backend,
+    frame_seed,
+    get_cloud,
+)
+from repro.engine.backends import device_kernel_model, make_device
+from repro.engine.session import TrajectoryResult
+from repro.workloads.catalog import get_profile
+
+
+class TestRegistry:
+    def test_default_backends_registered(self):
+        assert {"hw:baseline", "hw:qm", "hw:het", "hw:het+qm",
+                "cuda", "cuda+et", "reference"} <= set(available_backends())
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            create_backend("hw:turbo")
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(ValueError, match="unknown device"):
+            create_backend("hw:het", device_name="a100")
+
+    def test_frame_result_schema(self):
+        backend = create_backend("cuda+et")
+        profile = get_profile("lego")
+        frame = backend.render(get_cloud("lego"), profile.camera())
+        assert frame.backend == "cuda+et"
+        assert frame.cycles > 0 and frame.ms > 0 and frame.fps > 0
+        assert set(frame.kernels) == {"preprocess", "sort", "rasterize"}
+        assert frame.et_ratio > 1.0
+        assert frame.pipeline_stats is None  # software path has no hw stats
+
+    def test_reference_backend_functional_only(self):
+        backend = create_backend("reference")
+        profile = get_profile("lego")
+        frame = backend.render(get_cloud("lego"), profile.camera())
+        assert frame.cycles is None and frame.ms is None
+        assert frame.image.shape == (profile.height, profile.width, 3)
+
+
+class TestSingleFrame:
+    def test_bit_identical_to_hardware_renderer(self):
+        """RenderSession frame == direct HardwareRenderer.render output."""
+        session = RenderSession("lego", backend="hw:het+qm", baseline=None)
+        frame = session.render_frame()
+
+        profile = get_profile("lego")
+        device = make_device("orin")
+        direct = HardwareRenderer(
+            config=variant_config("het+qm", device),
+            kernel_model=device_kernel_model(device),
+        ).render(get_cloud("lego"), profile.camera())
+
+        assert np.array_equal(frame.image, direct.image)
+        assert np.array_equal(frame.alpha, direct.alpha)
+        assert frame.cycles == direct.total_cycles
+        assert frame.kernels == direct.breakdown_ms()
+        assert frame.pipeline_stats is direct.draw.stats or (
+            frame.pipeline_stats.total_cycles == direct.draw.stats.total_cycles)
+
+
+class TestTrajectory:
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return RenderSession("lego", backend="hw:het", baseline=None).run(
+            n_views=4, jobs=1)
+
+    def test_record_and_aggregate_shape(self, serial):
+        assert serial.n_frames == 4
+        assert [r.index for r in serial.records] == [0, 1, 2, 3]
+        agg = serial.aggregates()
+        assert agg["frames"] == 4
+        assert agg["et_ratio_min"] <= agg["et_ratio_mean"] <= agg["et_ratio_max"]
+        assert agg["fps_p5"] <= agg["fps_p50"] <= agg["fps_p95"]
+        assert agg["total_ms"] == pytest.approx(
+            sum(r.ms for r in serial.records))
+
+    def test_parallel_identical_to_serial(self, serial):
+        parallel = RenderSession("lego", backend="hw:het", baseline=None).run(
+            n_views=4, jobs=2)
+        assert [r.cycles for r in parallel.records] == [
+            r.cycles for r in serial.records]
+        assert parallel.aggregates() == serial.aggregates()
+
+    def test_deterministic_frame_seeds(self, serial):
+        expected = [frame_seed("lego", 0, k) for k in range(4)]
+        assert [r.seed for r in serial.records] == expected
+
+    def test_baseline_speedups(self):
+        result = RenderSession("lego", backend="hw:het+qm").run(n_views=2)
+        assert result.baseline == "hw:baseline"
+        for rec in result.records:
+            assert rec.speedup == rec.baseline_cycles / rec.cycles
+            assert rec.speedup > 1.0
+        assert result.aggregates()["geomean_speedup"] > 1.0
+
+    def test_warm_crop_cache_requires_serial(self):
+        session = RenderSession("lego", warm_crop_cache=True)
+        with pytest.raises(ValueError, match="serial"):
+            session.run(n_views=2, jobs=2)
+
+    def test_warm_crop_cache_unsupported_backend(self):
+        session = RenderSession("lego", backend="reference", baseline=None,
+                                warm_crop_cache=True)
+        with pytest.raises(ValueError, match="CROP cache"):
+            session.run(n_views=2)
+
+    def test_rejects_bad_view_count(self):
+        with pytest.raises(ValueError):
+            RenderSession("lego").run(n_views=0)
+
+
+class TestDiskCache:
+    def test_hit_identical_after_clear_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = RenderSession("lego", result_cache=cache).run(n_views=2)
+        assert not first.from_cache
+        assert len(cache) == 1
+
+        clear_cache()  # drop every in-process memo; force the disk path
+        second = RenderSession("lego", result_cache=cache).run(n_views=2)
+        assert second.from_cache
+        assert second.aggregates() == first.aggregates()
+        assert [r.to_dict() for r in second.records] == [
+            r.to_dict() for r in first.records]
+
+    def test_key_sensitivity(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        RenderSession("lego", result_cache=cache).run(n_views=2)
+        other = RenderSession("lego", result_cache=cache, seed=1).run(n_views=2)
+        assert not other.from_cache
+        assert len(cache) == 2
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = RenderSession("lego", result_cache=cache).run(n_views=2)
+        for path in cache.root.glob("*.json"):
+            path.write_text("{not json")
+        rerun = RenderSession("lego", result_cache=cache).run(n_views=2)
+        assert not rerun.from_cache
+        assert rerun.aggregates() == result.aggregates()
+
+    def test_round_trip_dict(self):
+        result = RenderSession("lego", backend="cuda+et", baseline=None).run(
+            n_views=2)
+        restored = TrajectoryResult.from_dict(result.to_dict(),
+                                              from_cache=True)
+        assert restored.from_cache
+        assert restored.aggregates() == result.aggregates()

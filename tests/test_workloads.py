@@ -1,5 +1,6 @@
 """Workload catalog: profiles, builders, viewpoints."""
 
+import numpy as np
 import pytest
 
 from repro.workloads.catalog import (
@@ -40,8 +41,34 @@ class TestCatalog:
         for name in ("lego", "palace"):
             profile = get_profile(name)
             cloud = build_scene(name)
-            assert len(cloud) <= profile.n_gaussians
-            assert len(cloud) >= profile.n_gaussians - 10
+            assert len(cloud) == profile.n_gaussians
+
+    def test_under_producing_builder_topped_up(self, monkeypatch):
+        """A builder that rounds low must be topped up to the profile count."""
+        from repro.workloads import catalog
+
+        profile = get_profile("lego")
+        original = catalog._BUILDERS["synthetic"]
+
+        def shorting_builder(prof, rng):
+            cloud = original(prof, rng)
+            return cloud.subset(np.arange(len(cloud) - 25))
+
+        monkeypatch.setitem(catalog._BUILDERS, "synthetic", shorting_builder)
+        a = build_scene("lego")
+        b = build_scene("lego")
+        assert len(a) == profile.n_gaussians
+        assert (a.positions == b.positions).all()  # top-up is deterministic
+
+    def test_empty_builder_raises(self, monkeypatch):
+        from repro.gaussians.gaussian import GaussianCloud
+        from repro.workloads import catalog
+
+        monkeypatch.setitem(
+            catalog._BUILDERS, "synthetic",
+            lambda prof, rng: GaussianCloud.empty(sh_degree=0))
+        with pytest.raises(ValueError, match="empty"):
+            build_scene("lego")
 
     def test_build_deterministic(self):
         a = build_scene("lego", seed=0)
