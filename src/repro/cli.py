@@ -5,6 +5,7 @@ Usage::
     python -m repro render  --scene train --out train.ppm
     python -m repro simulate --scene truck [--variant het+qm] [--all]
     python -m repro trajectory --scene train --backend hw:het+qm --views 24
+    python -m repro bench [--suite rasterize] [--quick] [--baseline BENCH_prev.json]
     python -m repro experiment fig16
     python -m repro list-scenes
 
@@ -25,14 +26,19 @@ from repro.engine.session import RenderSession
 from repro.experiments.runner import format_table
 from repro.gaussians.preprocess import preprocess
 from repro.hwmodel.report import compare_variants, draw_report
+from repro.perf.report import load_report, suite_report, write_report
+from repro.perf.suite import SUITES, run_suite
 from repro.render.image_io import write_ppm
 from repro.render.splat_raster import rasterize_splats
 from repro.workloads.catalog import (
+    BENCH_SCENES,
     LARGE_SCALE_SCENES,
     SCENES,
     build_scene,
     get_profile,
 )
+
+_ALL_SCENES = {**SCENES, **LARGE_SCALE_SCENES, **BENCH_SCENES}
 
 _EXPERIMENTS = (
     "fig01", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11",
@@ -65,7 +71,7 @@ def _build_stream(scene_name, seed):
 def cmd_list_scenes(_args):
     print(f"{'scene':>9} {'type':>10} {'dataset':>15} {'repro size':>12} "
           f"{'#gaussians':>11}")
-    for name, p in {**SCENES, **LARGE_SCALE_SCENES}.items():
+    for name, p in _ALL_SCENES.items():
         print(f"{name:>9} {p.scene_type:>10} {p.dataset:>15} "
               f"{p.width}x{p.height:<7} {p.n_gaussians:>11,}")
     return 0
@@ -126,6 +132,41 @@ def cmd_trajectory(args):
     return 0
 
 
+def cmd_bench(args):
+    suites = sorted(SUITES) if args.suite == "all" else [args.suite]
+    if args.out and len(suites) > 1:
+        raise SystemExit(
+            "--out names a single report file; with --suite all each suite "
+            "writes its own BENCH_<suite>.json, so drop --out or pick one "
+            "suite")
+    baseline = load_report(args.baseline) if args.baseline else None
+    for name in suites:
+        run = run_suite(name, quick=args.quick, scene=args.scene,
+                        repeat=args.repeat)
+        report = suite_report(run, baseline=baseline)
+        rows = []
+        for row in report["benchmarks"]:
+            mfrag = row.get("fragments_per_sec")
+            speedup = row.get("speedup_vs_scalar")
+            rows.append([
+                row["name"], row["scene"], f"{row['median_ms']:.2f}",
+                f"{mfrag / 1e6:.2f}" if mfrag else "-",
+                f"{speedup:.2f}x" if speedup else "-",
+            ])
+        mode = " (quick)" if args.quick else ""
+        print(format_table(
+            ["Benchmark", "Scene", "Median ms", "Mfrag/s", "Speedup"],
+            rows, title=f"Suite: {name}{mode}"))
+        comparison = report.get("speedup_vs_baseline") or {}
+        for bench, speedup in sorted(comparison.items()):
+            print(f"  vs baseline {bench}: {speedup:.2f}x")
+        out = args.out or f"BENCH_{name}.json"
+        write_report(report, out)
+        print(f"wrote {out}")
+        print()
+    return 0
+
+
 def cmd_experiment(args):
     module_name = _EXPERIMENT_MODULES[args.name]
     module = importlib.import_module(f"repro.experiments.{module_name}")
@@ -143,7 +184,7 @@ def build_parser():
 
     render = sub.add_parser("render", help="render a scene to a PPM image")
     render.add_argument("--scene", required=True,
-                        choices=sorted({**SCENES, **LARGE_SCALE_SCENES}))
+                        choices=sorted(_ALL_SCENES))
     render.add_argument("--out", default=None, help="output .ppm path")
     render.add_argument("--seed", type=int, default=0)
     render.add_argument("--early-term", action="store_true",
@@ -152,7 +193,7 @@ def build_parser():
     simulate = sub.add_parser(
         "simulate", help="simulate a draw call on the hardware model")
     simulate.add_argument("--scene", required=True,
-                          choices=sorted({**SCENES, **LARGE_SCALE_SCENES}))
+                          choices=sorted(_ALL_SCENES))
     simulate.add_argument("--variant", default="het+qm",
                           choices=sorted(VARIANTS))
     simulate.add_argument("--all", action="store_true",
@@ -163,7 +204,7 @@ def build_parser():
         "trajectory",
         help="simulate a multi-frame orbit trajectory through one backend")
     trajectory.add_argument("--scene", required=True,
-                            choices=sorted({**SCENES, **LARGE_SCALE_SCENES}))
+                            choices=sorted(_ALL_SCENES))
     trajectory.add_argument("--backend", default="hw:het+qm",
                             choices=available_backends())
     trajectory.add_argument("--views", type=int, default=8,
@@ -183,6 +224,22 @@ def build_parser():
     trajectory.add_argument("--cache-dir", default=None,
                             help="on-disk trajectory result cache directory")
 
+    bench = sub.add_parser(
+        "bench", help="run a performance suite and write BENCH_<suite>.json")
+    bench.add_argument("--suite", default="rasterize",
+                       choices=sorted(SUITES) + ["all"],
+                       help="benchmark suite to run (default rasterize)")
+    bench.add_argument("--quick", action="store_true",
+                       help="CI-sized run: small scene, minimal repeats")
+    bench.add_argument("--scene", default=None, choices=sorted(_ALL_SCENES),
+                       help="override the suite's default scene")
+    bench.add_argument("--repeat", type=int, default=None,
+                       help="override the suite's repeat count")
+    bench.add_argument("--baseline", default=None,
+                       help="earlier BENCH_*.json to compute speedups against")
+    bench.add_argument("--out", default=None,
+                       help="output JSON path (default BENCH_<suite>.json)")
+
     experiment = sub.add_parser(
         "experiment", help="regenerate a paper table/figure")
     experiment.add_argument("name", choices=_EXPERIMENTS)
@@ -197,6 +254,7 @@ def main(argv=None):
         "render": cmd_render,
         "simulate": cmd_simulate,
         "trajectory": cmd_trajectory,
+        "bench": cmd_bench,
         "experiment": cmd_experiment,
     }
     return handlers[args.command](args)

@@ -62,7 +62,9 @@ class FrameResult:
     """One rendered frame in the engine's common schema.
 
     ``cycles``/``ms``/``fps`` are ``None`` for the reference backend,
-    which is functional-only.  ``kernels`` is the per-kernel millisecond
+    which is functional-only.  ``n_fragments`` counts the rasterised
+    fragments of the frame (the benchmark harness derives fragments/sec
+    from it).  ``kernels`` is the per-kernel millisecond
     breakdown (preprocess / sort / rasterize) when the path models it.
     ``pipeline_stats`` carries the hardware model's
     :class:`~repro.hwmodel.stats.PipelineStats` when available, and
@@ -77,6 +79,7 @@ class FrameResult:
     fps: float | None = None
     kernels: dict = field(default_factory=dict)
     et_ratio: float | None = None
+    n_fragments: int | None = None
     pipeline_stats: object | None = None
     raw: object | None = None
 
@@ -133,6 +136,7 @@ class HardwareBackend:
             kernels=res.breakdown_ms(),
             et_ratio=res.stream.termination_ratio(
                 self.config.termination_alpha),
+            n_fragments=len(res.stream),
             pipeline_stats=res.draw.stats,
             raw=res,
         )
@@ -174,6 +178,7 @@ class CudaBackend:
             fps=res.timing.fps(),
             kernels=res.timing.breakdown_ms(),
             et_ratio=res.stream.termination_ratio(self.renderer.threshold),
+            n_fragments=len(res.stream),
             pipeline_stats=None,
             raw=res,
         )
@@ -199,6 +204,7 @@ class ReferenceBackend:
             image=image,
             alpha=alpha,
             et_ratio=stream.termination_ratio(DEFAULT_TERMINATION_ALPHA),
+            n_fragments=len(stream),
             raw=stream,
         )
 

@@ -12,7 +12,7 @@ import numpy as np
 
 
 def depth_sort_indices(depths, front_to_back=True):
-    """Return indices sorting ``depths`` (stable).
+    """Return indices sorting ``depths`` with an explicitly *stable* sort.
 
     Parameters
     ----------
@@ -22,16 +22,25 @@ def depth_sort_indices(depths, front_to_back=True):
         Sort nearest-first when True (the order required by front-to-back
         alpha blending); farthest-first otherwise.
 
-    Stability matters: splats at identical depth must keep submission order
-    so renders are deterministic across runs.
+    Why stability matters
+    ---------------------
+    Draw order **is** blend order: every renderer in this library blends
+    fragments in the order splats are submitted, so two splats at the same
+    depth must keep their submission order for the composite to be
+    deterministic across runs, platforms, and rasteriser implementations
+    (alpha blending does not commute — swapping equal-depth splats changes
+    the image).  ``np.argsort(kind="stable")`` guarantees exactly that;
+    the default introsort does not.  The farthest-first direction sorts the
+    *negated* depths stably rather than reversing the nearest-first order,
+    because reversing a stable sort would flip the submission order of
+    equal-depth splats.
     """
     depths = np.asarray(depths)
     if depths.ndim != 1:
         raise ValueError(f"depths must be 1-D, got shape {depths.shape}")
-    order = np.argsort(depths, kind="stable")
-    if not front_to_back:
-        order = order[::-1]
-    return order
+    if front_to_back:
+        return np.argsort(depths, kind="stable")
+    return np.argsort(-depths, kind="stable")
 
 
 def sort_cost_model(n_items, comparisons_per_cycle=32.0):

@@ -19,8 +19,6 @@ produces the utilisation report of Figure 6.
 
 from __future__ import annotations
 
-from collections import deque
-
 import numpy as np
 
 from repro.hwmodel.config import GPUConfig
@@ -90,8 +88,10 @@ class DrawWorkload:
         tiles_x = -(-self.width // 16)
         tiles_y = -(-self.height // 16)
         self.n_tiles = tiles_x * tiles_y
+        self.quad_rows = np.arange(n_quads, dtype=np.int64)
         if n_quads == 0:
             self.group_starts = np.empty(0, dtype=np.int64)
+            self.group_ends = np.empty(0, dtype=np.int64)
             self.group_prim = np.empty(0, dtype=np.int64)
             self.group_tile = np.empty(0, dtype=np.int64)
             self.group_grid = np.empty(0, dtype=np.int64)
@@ -99,6 +99,8 @@ class DrawWorkload:
             self.group_n_rtiles = np.empty(0, dtype=np.int64)
             self.prim_group_ranges = {}
             self.prim_grids = {}
+            self.pair_prim = np.empty(0, dtype=np.int64)
+            self.pair_grid = np.empty(0, dtype=np.int64)
             return
         combined = quads.prim_ids * self.n_tiles + quads.tile_ids
         if np.any(np.diff(combined) < 0):
@@ -129,6 +131,13 @@ class DrawWorkload:
             prim: np.unique(self.group_grid[s:e])
             for prim, (s, e) in self.prim_group_ranges.items()
         }
+        # Flattened (primitive, grid) occurrences in TGC insertion order:
+        # draw order over primitives, ascending grid id within each (the
+        # order `prim_grids` yields).  Groups are (prim, tile)-sorted, so a
+        # unique over a combined key produces exactly that sequence.
+        n_grids = int(self.group_grid.max()) + 1
+        pairs = np.unique(self.group_prim * n_grids + self.group_grid)
+        self.pair_prim, self.pair_grid = np.divmod(pairs, n_grids)
 
     @property
     def prims_with_quads(self):
@@ -226,31 +235,37 @@ class GraphicsPipeline:
 
     def _run_in_draw_order(self, workload, raster, tc, crop, zrop, shader,
                            stats):
-        """Baseline order: primitives hit the rasteriser in draw order."""
-        for prim in workload.prims_with_quads:
-            s, e = workload.prim_group_ranges[prim]
-            n_quads = int(workload.group_n_quads[s:e].sum())
-            n_rtiles = int(workload.group_n_rtiles[s:e].sum())
-            raster.accumulate(1, n_rtiles, n_quads)
-            for g in range(s, e):
-                rows = np.arange(workload.group_starts[g],
-                                 workload.group_ends[g])
-                for batch in tc.insert(int(workload.group_tile[g]), rows):
-                    self._process_flush(batch, workload, crop, zrop, shader,
-                                        stats)
+        """Baseline order: primitives hit the rasteriser in draw order.
+
+        The (prim, tile) groups are already sorted in draw order, so the
+        whole draw is one batch insert: raster-unit counts accumulate in a
+        single call (pure sums, so identical to per-primitive calls) and
+        the TC unit consumes every group through :meth:`TileCoalescer.
+        insert_groups`, which yields flushes in the exact sequential order.
+        """
+        raster.accumulate(len(workload.prim_group_ranges),
+                          int(workload.group_n_rtiles.sum()),
+                          int(workload.group_n_quads.sum()))
+        for batch in tc.insert_groups(workload.group_tile,
+                                      workload.group_starts,
+                                      workload.group_ends,
+                                      workload.quad_rows):
+            self._process_flush(batch, workload, crop, zrop, shader, stats)
 
     def _run_with_tgc(self, workload, raster, tc, crop, zrop, shader, stats):
-        """VR-Pipe order: the TGC unit groups primitives per tile grid."""
+        """VR-Pipe order: the TGC unit groups primitives per tile grid.
+
+        The precomputed ``(pair_prim, pair_grid)`` occurrence arrays drive
+        one :meth:`TileGridCoalescer.insert_pairs` pass; the simulator then
+        iterates *flushed grid groups* (each rasterised as a tile batch)
+        instead of looping per Gaussian.
+        """
         cfg = self.config
         tgc = TileGridCoalescer(cfg.n_tgc_bins, cfg.tgc_bin_prims)
-        flushes = deque()
-        for prim in workload.prims_with_quads:
-            for grid in workload.prim_grids[prim]:
-                flushes.extend(tgc.insert(int(grid), prim))
-            while flushes:
-                grid_id, prims, _reason = flushes.popleft()
-                self._rasterize_grid_group(grid_id, prims, workload, raster,
-                                           tc, crop, zrop, shader, stats)
+        for grid_id, prims, _reason in tgc.insert_pairs(workload.pair_grid,
+                                                        workload.pair_prim):
+            self._rasterize_grid_group(grid_id, prims, workload, raster,
+                                       tc, crop, zrop, shader, stats)
         for grid_id, prims, _reason in tgc.drain():
             self._rasterize_grid_group(grid_id, prims, workload, raster, tc,
                                        crop, zrop, shader, stats)
@@ -260,21 +275,31 @@ class GraphicsPipeline:
 
     def _rasterize_grid_group(self, grid_id, prims, workload, raster, tc,
                               crop, zrop, shader, stats):
-        """Rasterise the portions of ``prims`` that fall in ``grid_id``."""
+        """Rasterise the portions of ``prims`` that fall in ``grid_id``.
+
+        Selects every (prim, tile) group of the flushed primitives inside
+        the grid, accumulates their raster counts once, and batch-inserts
+        the groups into the TC unit in the original per-primitive order.
+        """
+        selected = []
+        n_portions = 0
         for prim in prims:
             s, e = workload.prim_group_ranges[prim]
             in_grid = np.flatnonzero(workload.group_grid[s:e] == grid_id) + s
-            if in_grid.size == 0:
-                continue
-            n_quads = int(workload.group_n_quads[in_grid].sum())
-            n_rtiles = int(workload.group_n_rtiles[in_grid].sum())
-            raster.accumulate(1, n_rtiles, n_quads)
-            for g in in_grid:
-                rows = np.arange(workload.group_starts[g],
-                                 workload.group_ends[g])
-                for batch in tc.insert(int(workload.group_tile[g]), rows):
-                    self._process_flush(batch, workload, crop, zrop, shader,
-                                        stats)
+            if in_grid.size:
+                n_portions += 1
+                selected.append(in_grid)
+        if not selected:
+            return
+        sel = np.concatenate(selected)
+        raster.accumulate(n_portions,
+                          int(workload.group_n_rtiles[sel].sum()),
+                          int(workload.group_n_quads[sel].sum()))
+        for batch in tc.insert_groups(workload.group_tile[sel],
+                                      workload.group_starts[sel],
+                                      workload.group_ends[sel],
+                                      workload.quad_rows):
+            self._process_flush(batch, workload, crop, zrop, shader, stats)
 
     # ------------------------------------------------------------------
 

@@ -128,6 +128,20 @@ class TileCoalescer:
         flushed.extend(self._check_timeouts())
         return flushed
 
+    def insert_groups(self, tile_ids, starts, ends, quad_rows):
+        """Batch-insert a run of (primitive, tile) groups in draw order.
+
+        ``tile_ids``, ``starts`` and ``ends`` are parallel arrays (one entry
+        per group); group ``g`` inserts ``quad_rows[starts[g]:ends[g]]``
+        into ``tile_ids[g]``'s bin.  Yields :class:`FlushBatch` objects in
+        the exact order sequential :meth:`insert` calls would produce them —
+        bin dynamics are identical; only the per-group Python overhead
+        (index-array allocation, list plumbing) goes away, since groups
+        slice one shared row array.
+        """
+        for tile_id, s, e in zip(tile_ids, starts, ends):
+            yield from self.insert(int(tile_id), quad_rows[s:e])
+
     def drain(self):
         """Flush every residual bin in age order (end of draw)."""
         flushed = []

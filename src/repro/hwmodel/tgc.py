@@ -69,6 +69,18 @@ class TileGridCoalescer:
             flushed.append((grid_id, full, self.FLUSH_FULL))
         return flushed
 
+    def insert_pairs(self, grid_ids, prim_rows):
+        """Batch-insert (grid, primitive) occurrences in draw order.
+
+        ``grid_ids`` and ``prim_rows`` are parallel arrays of per-grid
+        primitive occurrences (a primitive spanning ``k`` grids contributes
+        ``k`` consecutive entries).  Yields flushed ``(grid_id, prim_rows,
+        reason)`` groups in the exact order sequential :meth:`insert` calls
+        would, letting the pipeline iterate flushes instead of primitives.
+        """
+        for grid_id, prim in zip(grid_ids, prim_rows):
+            yield from self.insert(int(grid_id), int(prim))
+
     def drain(self):
         """Flush all residual bins in age order (end of the draw call)."""
         flushed = []

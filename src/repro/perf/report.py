@@ -1,0 +1,84 @@
+"""BENCH_<suite>.json reports and baseline comparison.
+
+A report is a flat, diff-friendly JSON document: suite metadata, one row
+per benchmark (median + raw repeats + derived metrics), and — when a
+baseline report is supplied — per-benchmark speedups against it, so a
+checked-in ``BENCH_rasterize.json`` doubles as the regression reference
+for later runs (``repro bench --baseline BENCH_rasterize.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+
+import numpy as np
+
+#: Bumped whenever the report layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+def suite_report(run, baseline=None):
+    """Serialise a :class:`~repro.perf.suite.SuiteRun` to a report dict.
+
+    ``baseline`` is a previously loaded report dict; matching benchmark
+    names gain a ``speedup_vs_baseline`` entry (>1 means this run is
+    faster).
+    """
+    rows = []
+    for result in run:
+        rows.append({
+            "name": result.name,
+            "scene": result.scene,
+            "median_ms": result.timing.median_ms,
+            "times_ms": [t * 1e3 for t in result.timing.times_s],
+            "warmup": result.timing.warmup,
+            **result.metrics,
+        })
+    report = {
+        "schema": SCHEMA_VERSION,
+        "suite": run.suite,
+        "quick": run.quick,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "benchmarks": rows,
+    }
+    if baseline is not None:
+        report["baseline_suite"] = baseline.get("suite")
+        report["speedup_vs_baseline"] = compare_to_baseline(report, baseline)
+    return report
+
+
+def compare_to_baseline(report, baseline):
+    """``{benchmark name: baseline_median / current_median}`` for shared rows."""
+    if baseline.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"baseline schema {baseline.get('schema')!r} does not match "
+            f"current schema {SCHEMA_VERSION}")
+    base_rows = {row["name"]: row for row in baseline.get("benchmarks", [])}
+    speedups = {}
+    for row in report["benchmarks"]:
+        base = base_rows.get(row["name"])
+        if base is None or not row["median_ms"]:
+            continue
+        speedups[row["name"]] = base["median_ms"] / row["median_ms"]
+    return speedups
+
+
+def write_report(report, path):
+    """Write ``report`` as indented JSON to ``path`` (returns the path)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return path
+
+
+def load_report(path):
+    """Load a report previously written by :func:`write_report`."""
+    with open(path, encoding="utf-8") as fh:
+        report = json.load(fh)
+    if not isinstance(report, dict) or "benchmarks" not in report:
+        raise ValueError(f"{path!r} is not a bench report")
+    return report

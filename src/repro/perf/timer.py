@@ -1,0 +1,100 @@
+"""Wall-clock timing with warmup, repeats, and median extraction.
+
+Medians over a handful of repeats are the suite's headline statistic: on a
+shared machine the minimum is too optimistic (one lucky scheduling window)
+and the mean too pessimistic (one unlucky one); the median of 3-7 repeats
+is stable enough to compare across runs.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+
+class TimingResult:
+    """Timings of one benchmarked callable.
+
+    Attributes
+    ----------
+    name:
+        Benchmark label.
+    times_s:
+        Per-repeat wall-clock seconds (warmup excluded), in run order.
+    warmup:
+        Discarded warmup iterations that preceded the measurements.
+    """
+
+    def __init__(self, name, times_s, warmup):
+        if not times_s:
+            raise ValueError("times_s must contain at least one measurement")
+        self.name = str(name)
+        self.times_s = [float(t) for t in times_s]
+        self.warmup = int(warmup)
+
+    @property
+    def repeat(self):
+        return len(self.times_s)
+
+    @property
+    def median_s(self):
+        return statistics.median(self.times_s)
+
+    @property
+    def median_ms(self):
+        return self.median_s * 1e3
+
+    @property
+    def best_s(self):
+        return min(self.times_s)
+
+    @property
+    def mean_s(self):
+        return statistics.fmean(self.times_s)
+
+    def per_second(self, items):
+        """Throughput ``items / median_s`` (0.0 for a zero median)."""
+        if self.median_s <= 0.0:
+            return 0.0
+        return items / self.median_s
+
+    def __repr__(self):
+        return (f"TimingResult({self.name!r}, median={self.median_ms:.2f} ms, "
+                f"repeat={self.repeat})")
+
+
+def time_callable(fn, warmup=1, repeat=5, name=None,
+                  clock=time.perf_counter):
+    """Time ``fn()`` with ``warmup`` discarded runs then ``repeat`` measured.
+
+    Parameters
+    ----------
+    fn:
+        Zero-argument callable; its return value is discarded.
+    warmup:
+        Runs executed before measuring (populate caches, trigger lazy
+        imports/allocations).  May be 0.
+    repeat:
+        Measured runs; must be >= 1.
+    name:
+        Label stored on the result (defaults to ``fn.__name__``).
+    clock:
+        Monotonic clock returning seconds (injectable for tests).
+
+    Returns
+    -------
+    :class:`TimingResult`
+    """
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
+    for _ in range(int(warmup)):
+        fn()
+    times = []
+    for _ in range(int(repeat)):
+        t0 = clock()
+        fn()
+        times.append(clock() - t0)
+    label = name if name is not None else getattr(fn, "__name__", "benchmark")
+    return TimingResult(label, times, warmup)

@@ -16,7 +16,11 @@ from repro.render.blending import (
     front_to_back_blend,
     premultiply,
 )
-from repro.render.splat_raster import rasterize_splats
+from repro.render.splat_raster import (
+    TileBinning,
+    rasterize_splats,
+    rasterize_splats_scalar,
+)
 from repro.render.fragstream import FragmentStream, QuadTable
 from repro.render.reference import RenderResult, render_reference
 from repro.render.metrics import image_report, psnr, ssim
@@ -29,6 +33,8 @@ __all__ = [
     "front_to_back_blend",
     "premultiply",
     "rasterize_splats",
+    "rasterize_splats_scalar",
+    "TileBinning",
     "FragmentStream",
     "QuadTable",
     "RenderResult",

@@ -50,9 +50,15 @@ class FragmentStream:
         colour, as in the paper's vertex-colour scheme).
     width, height:
         Framebuffer dimensions.
+    binning:
+        Optional :class:`~repro.render.splat_raster.TileBinning` carrying
+        the rasteriser's splat-to-screen-tile pairs, so downstream
+        consumers (CUDA tile duplication, the hardware tile coalescers)
+        reuse the binning instead of re-deriving it.
     """
 
-    def __init__(self, prim_ids, x, y, alphas, prim_colors, width, height):
+    def __init__(self, prim_ids, x, y, alphas, prim_colors, width, height,
+                 binning=None):
         self.prim_ids = np.asarray(prim_ids, dtype=np.int32)
         self.x = np.asarray(x, dtype=np.int32)
         self.y = np.asarray(y, dtype=np.int32)
@@ -70,6 +76,7 @@ class FragmentStream:
         if n and ((self.x.min() < 0) or (self.x.max() >= self.width)
                   or (self.y.min() < 0) or (self.y.max() >= self.height)):
             raise ValueError("fragment coordinates fall outside the framebuffer")
+        self.binning = binning
         self._cache = {}
 
     # ------------------------------------------------------------------
@@ -94,6 +101,16 @@ class FragmentStream:
             self._cache["pixel_ids"] = (
                 self.y.astype(np.int64) * self.width + self.x)
         return self._cache["pixel_ids"]
+
+    @property
+    def tile_ids(self):
+        """Per-fragment screen-tile id (16x16 px tiles, row-major)."""
+        if "tile_ids" not in self._cache:
+            tiles_x = -(-self.width // TILE_SIZE)
+            self._cache["tile_ids"] = (
+                (self.y.astype(np.int64) // TILE_SIZE) * tiles_x
+                + self.x.astype(np.int64) // TILE_SIZE)
+        return self._cache["tile_ids"]
 
     @property
     def unpruned(self):
@@ -226,12 +243,16 @@ class FragmentStream:
         weights = transmittance * self.alphas.astype(np.float64)
         weights = np.where(blended, weights, 0.0)
         pix = self.pixel_ids
-        image = np.zeros((self.n_pixels, 3), dtype=np.float64)
         colors = self.prim_colors[self.prim_ids]
-        for channel in range(3):
-            image[:, channel] = np.bincount(
-                pix, weights=weights * colors[:, channel],
-                minlength=self.n_pixels)
+        # One interleaved bincount over an (n, 3) contribution array instead
+        # of a per-channel Python loop; for each (pixel, channel) bin the
+        # partial sums still accumulate in fragment order, so the image is
+        # bit-identical to three separate per-channel bincounts.
+        contrib = weights[:, None] * colors
+        keys = pix[:, None] * 3 + np.arange(3, dtype=np.int64)
+        image = np.bincount(
+            keys.ravel(), weights=contrib.ravel(),
+            minlength=self.n_pixels * 3).reshape(self.n_pixels, 3)
         alpha_map = np.bincount(pix, weights=weights, minlength=self.n_pixels)
         return (image.reshape(self.height, self.width, 3),
                 alpha_map.reshape(self.height, self.width))

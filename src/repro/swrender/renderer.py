@@ -22,7 +22,7 @@ from repro.gaussians.gaussian import GaussianCloud
 from repro.gaussians.preprocess import preprocess
 from repro.render.fragstream import DEFAULT_TERMINATION_ALPHA
 from repro.render.splat_raster import rasterize_splats
-from repro.swrender.tiling import assign_tiles
+from repro.swrender.tiling import TileAssignment, assign_tiles
 from repro.swrender.warp_model import simulate_tile_warps
 
 
@@ -139,10 +139,14 @@ class CudaRenderer:
         return self.render_stream(stream, pre)
 
     def render_stream(self, stream, pre=None):
-        """Render from an existing fragment stream (shared with other paths)."""
+        """Render from an existing fragment stream (shared with other paths).
+
+        Tile duplication comes from ``pre`` when given; otherwise the
+        stream's own :class:`~repro.render.splat_raster.TileBinning` is
+        consumed directly (no re-binning).
+        """
         model = self.kernel_model
-        tiling = assign_tiles(
-            _splats_from(stream, pre), stream.width, stream.height)
+        tiling = _tiling_for(stream, pre)
         n_gaussians = stream.prim_colors.shape[0]
         warp_exec = simulate_tile_warps(stream, self.threshold)
 
@@ -163,9 +167,21 @@ class CudaRenderer:
                                 tiling)
 
 
-def _splats_from(stream, pre):
+def _tiling_for(stream, pre):
+    """Tile duplication for the sort/preprocess kernels.
+
+    ``pre`` reproduces the conservative bbox/16-rounding estimate of
+    :func:`~repro.swrender.tiling.assign_tiles` (what the CUDA kernel can
+    test cheaply).  Without it, the batched rasteriser's
+    :class:`~repro.render.splat_raster.TileBinning` on the stream provides
+    the *exact* per-splat tile counts, consumed as-is.
+    """
     if pre is not None:
-        return pre.splats
+        return assign_tiles(pre.splats, stream.width, stream.height)
+    binning = getattr(stream, "binning", None)
+    if binning is not None:
+        return TileAssignment(binning.pairs_per_splat())
     raise ValueError(
         "render_stream needs the PreprocessResult to size tile duplication; "
-        "pass pre= or use render()")
+        "pass pre=, use render(), or pass a stream produced by "
+        "rasterize_splats (which carries its TileBinning)")

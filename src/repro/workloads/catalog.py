@@ -158,11 +158,37 @@ def _city_scene(profile, rng):
     return GaussianCloud.concatenate(parts)
 
 
+def _bench_scene(profile, rng):
+    """Dense field of *small* splats for the `repro bench` suites.
+
+    The Table II realisations are scaled ~1/5.5 linearly but keep their
+    Gaussian counts in the thousands, so each splat covers ~1000 px — two
+    orders of magnitude above production 3DGS captures (millions of
+    Gaussians covering tens of pixels each).  Benchmarks of per-splat
+    versus batched rasterisation costs need the realistic regime, so this
+    layout packs many small-scale Gaussians: a dominant foreground cloud
+    plus a thin background shell.
+    """
+    p = profile.layout_params
+    n = profile.n_gaussians
+    n_fg = int(n * p.get("fg_frac", 0.8))
+    fg = synthetic.make_blob(
+        rng, n_fg, center=(0, 0, 0), radius=p.get("radius", 0.85),
+        scale_mean=p.get("fg_scale", 0.009), opacity_low=0.5,
+        opacity_high=0.95, base_color=(0.6, 0.55, 0.45))
+    bg = synthetic.make_shell(
+        rng, n - n_fg, center=(0, 0, 0.4), radius=p.get("bg_radius", 3.4),
+        scale_mean=p.get("bg_scale", 0.02), opacity_low=0.4,
+        opacity_high=0.9, base_color=(0.5, 0.55, 0.65))
+    return synthetic.compose(fg, bg)
+
+
 _BUILDERS = {
     "indoor": _indoor_scene,
     "outdoor": _outdoor_scene,
     "synthetic": _synthetic_scene,
     "city": _city_scene,
+    "bench": _bench_scene,
 }
 
 
@@ -239,7 +265,19 @@ LARGE_SCALE_SCENES = {
     ),
 }
 
-_ALL = {**SCENES, **LARGE_SCALE_SCENES}
+#: Benchmark workloads for the ``repro bench`` suites (not part of the
+#: paper's figure sweeps, so deliberately kept out of :func:`scene_names`).
+BENCH_SCENES = {
+    "bench": SceneProfile(
+        name="bench", dataset="procedural", scene_type="bench",
+        paper_resolution=(1280, 720), paper_gaussians=1_000_000,
+        width=480, height=270, n_gaussians=30000,
+        layout_params={"fg_scale": 0.0075, "bg_scale": 0.016},
+        camera_eye=(0.0, 0.3, -2.6), orbit_radius=2.6, orbit_height=0.4,
+    ),
+}
+
+_ALL = {**SCENES, **LARGE_SCALE_SCENES, **BENCH_SCENES}
 
 
 def scene_names(include_large=False):

@@ -167,3 +167,63 @@ def test_tgc_conservation_property(inserts, n_bins, capacity):
         per_grid.setdefault(grid, []).extend(prims)
     assert per_grid == expected
     assert all(len(prims) <= capacity for _g, prims, _r in flushed)
+
+
+def _flush_signature(batch):
+    return (batch.tile_id, batch.reason, batch.quad_rows.tolist())
+
+
+class TestTCBatchInsert:
+    """insert_groups must reproduce sequential insert() flush-for-flush."""
+
+    def _random_groups(self, seed, n_groups=120, n_tiles=12):
+        rng = np.random.default_rng(seed)
+        lengths = rng.integers(1, 40, n_groups)
+        ends = np.cumsum(lengths)
+        starts = ends - lengths
+        tiles = rng.integers(0, n_tiles, n_groups)
+        rows = np.arange(ends[-1], dtype=np.int64)
+        return tiles, starts, ends, rows
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_sequential(self, seed):
+        tiles, starts, ends, rows = self._random_groups(seed)
+        seq = TileCoalescer(n_bins=4, bin_capacity=16, timeout_quads=50)
+        bat = TileCoalescer(n_bins=4, bin_capacity=16, timeout_quads=50)
+        expected = []
+        for tile, s, e in zip(tiles, starts, ends):
+            expected.extend(seq.insert(int(tile), rows[s:e]))
+        got = list(bat.insert_groups(tiles, starts, ends, rows))
+        expected.extend(seq.drain())
+        got.extend(bat.drain())
+        assert ([_flush_signature(b) for b in got]
+                == [_flush_signature(b) for b in expected])
+        assert bat.flush_counts == seq.flush_counts
+        assert bat.quads_inserted == seq.quads_inserted
+
+    def test_is_a_generator(self):
+        tc = TileCoalescer(n_bins=2, bin_capacity=4)
+        gen = tc.insert_groups(np.array([0]), np.array([0]), np.array([2]),
+                               np.arange(2))
+        assert tc.quads_inserted == 0  # nothing consumed yet
+        assert list(gen) == []
+        assert tc.quads_inserted == 2
+
+
+class TestTGCBatchInsert:
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_matches_sequential(self, seed):
+        rng = np.random.default_rng(seed)
+        grids = rng.integers(0, 9, 300)
+        prims = np.arange(300)
+        seq = TileGridCoalescer(n_bins=3, bin_capacity=5)
+        bat = TileGridCoalescer(n_bins=3, bin_capacity=5)
+        expected = []
+        for grid, prim in zip(grids, prims):
+            expected.extend(seq.insert(int(grid), int(prim)))
+        got = list(bat.insert_pairs(grids, prims))
+        expected.extend(seq.drain())
+        got.extend(bat.drain())
+        assert got == expected
+        assert bat.flush_counts == seq.flush_counts
+        assert bat.prims_inserted == seq.prims_inserted

@@ -74,3 +74,33 @@ class TestSortCost:
     def test_rejects_negative(self):
         with pytest.raises(ValueError):
             sort_cost_model(-1)
+
+
+class TestDepthSortTies:
+    """Draw order == blend order: equal depths must keep submission order."""
+
+    def test_ties_keep_submission_order_front_to_back(self):
+        depths = np.array([2.0, 1.0, 2.0, 1.0, 2.0])
+        order = depth_sort_indices(depths)
+        # Within each depth group the original submission order survives.
+        assert order.tolist() == [1, 3, 0, 2, 4]
+
+    def test_ties_keep_submission_order_back_to_front(self):
+        depths = np.array([2.0, 1.0, 2.0, 1.0, 2.0])
+        order = depth_sort_indices(depths, front_to_back=False)
+        # Farthest-first sorts negated depths stably, so ties still appear
+        # in submission order (a reversed stable sort would flip them).
+        assert order.tolist() == [0, 2, 4, 1, 3]
+
+    def test_all_equal_is_identity_both_directions(self):
+        depths = np.full(6, 3.25)
+        assert depth_sort_indices(depths).tolist() == list(range(6))
+        assert depth_sort_indices(
+            depths, front_to_back=False).tolist() == list(range(6))
+
+    def test_tied_splats_render_deterministically(self):
+        # Two overlapping splats at identical depth: repeated sorts must
+        # agree, otherwise the non-commutative blend changes the image.
+        depths = np.array([1.5, 1.5])
+        for _ in range(3):
+            assert depth_sort_indices(depths).tolist() == [0, 1]

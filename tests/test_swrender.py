@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.render.fragstream import FragmentStream
 from repro.swrender.renderer import CudaRenderer, SWKernelModel
 from repro.swrender.tiling import assign_tiles
 from repro.swrender.warp_model import simulate_tile_warps
@@ -93,9 +94,23 @@ class TestCudaRenderer:
             100, 100)
         assert model.sort_cycles(1000) == 10 * model.sort_cycles(100)
 
-    def test_render_stream_requires_pre(self, small_stream):
+    def test_render_stream_consumes_stream_binning(self, small_stream,
+                                                   small_pre):
+        # Without pre=, the stream's own TileBinning sizes the duplication
+        # (exact counts, no re-binning) instead of raising.
+        result = CudaRenderer().render_stream(small_stream)
+        binning = small_stream.binning
+        assert result.tiling.n_pairs == binning.n_pairs
+        np.testing.assert_array_equal(result.tiling.pairs_per_splat,
+                                      binning.pairs_per_splat())
+
+    def test_render_stream_requires_pre_or_binning(self, small_stream):
+        bare = FragmentStream(
+            small_stream.prim_ids, small_stream.x, small_stream.y,
+            small_stream.alphas, small_stream.prim_colors,
+            small_stream.width, small_stream.height)
         with pytest.raises(ValueError, match="PreprocessResult"):
-            CudaRenderer().render_stream(small_stream)
+            CudaRenderer().render_stream(bare)
 
     def test_type_checks(self, small_camera):
         with pytest.raises(TypeError):
