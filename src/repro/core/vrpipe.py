@@ -56,15 +56,15 @@ def variant_config(variant, device=None, **overrides):
     return base.variant(enable_het=het, enable_qm=qm, **overrides)
 
 
-def run_variant(stream, variant, device=None, **overrides):
+def run_variant(stream, variant, device=None, engine="batched", **overrides):
     """Simulate one draw call under ``variant``; returns a DrawResult."""
     config = variant_config(variant, device, **overrides)
-    return GraphicsPipeline(config).draw(stream)
+    return GraphicsPipeline(config).draw(stream, engine=engine)
 
 
-def run_all_variants(stream, device=None, **overrides):
+def run_all_variants(stream, device=None, engine="batched", **overrides):
     """Simulate all four variants on the same stream."""
-    return {name: run_variant(stream, name, device, **overrides)
+    return {name: run_variant(stream, name, device, engine=engine, **overrides)
             for name in VARIANTS}
 
 
@@ -140,13 +140,22 @@ class HardwareRenderer:
         Calibrated preprocessing/sort kernel costs (shared with
         :class:`~repro.swrender.renderer.CudaRenderer` for a fair
         comparison).
+    engine:
+        Flush engine of the pipeline model: ``"batched"`` (default, the
+        flush-plan engine) or ``"scalar"`` (the retained per-flush path);
+        both are cycle- and stat-exact against each other.
     """
 
-    def __init__(self, config=None, kernel_model=None):
+    def __init__(self, config=None, kernel_model=None, engine="batched"):
         self.config = config if config is not None else variant_config("het+qm")
         if not isinstance(self.config, GPUConfig):
             raise TypeError("config must be a GPUConfig")
+        if engine not in GraphicsPipeline.ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; choose from "
+                f"{GraphicsPipeline.ENGINES}")
         self.kernel_model = kernel_model or SWKernelModel()
+        self.engine = engine
 
     def render(self, cloud, camera, crop_cache=None):
         """Render a cloud; returns an :class:`HWRenderResult`.
@@ -174,7 +183,8 @@ class HardwareRenderer:
         preprocess_cycles = model.preprocess_cycles(n_gaussians, 0)
         sort_cycles = model.sort_cycles(n_visible)
         draw = GraphicsPipeline(self.config).draw(stream,
-                                                  crop_cache=crop_cache)
+                                                  crop_cache=crop_cache,
+                                                  engine=self.engine)
         early_term = self.config.enable_het
         image, alpha = stream.blend_image(
             early_term=early_term, threshold=self.config.termination_alpha)

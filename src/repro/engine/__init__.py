@@ -12,10 +12,12 @@ from repro.engine.backends import (
     FrameResult,
     RendererBackend,
     available_backends,
+    backend_spec,
     create_backend,
     make_cuda_renderer,
     make_device,
     register_backend,
+    resolve_backend,
 )
 from repro.engine.cache import (
     ResultCache,
@@ -42,6 +44,7 @@ __all__ = [
     "Scenario",
     "TrajectoryResult",
     "available_backends",
+    "backend_spec",
     "clear_cache",
     "create_backend",
     "frame_seed",
@@ -52,5 +55,6 @@ __all__ = [
     "make_cuda_renderer",
     "make_device",
     "register_backend",
+    "resolve_backend",
     "run_frames",
 ]

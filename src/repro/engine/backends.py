@@ -104,14 +104,20 @@ class RendererBackend(Protocol):
 
 
 class HardwareBackend:
-    """Hardware (OpenGL-path) rendering under one VR-Pipe variant."""
+    """Hardware (OpenGL-path) rendering under one VR-Pipe variant.
 
-    def __init__(self, spec, variant, device):
+    ``engine`` selects the pipeline's flush engine: the batched flush-plan
+    engine (default) or the retained scalar per-flush path — both produce
+    cycle- and stat-identical results.
+    """
+
+    def __init__(self, spec, variant, device, engine="batched"):
         self.spec = spec
         self.variant = variant
         self.config = variant_config(variant, device)
         self.renderer = HardwareRenderer(
-            config=self.config, kernel_model=device_kernel_model(device))
+            config=self.config, kernel_model=device_kernel_model(device),
+            engine=engine)
 
     def render(self, cloud, camera, crop_cache=None):
         res = self.renderer.render(cloud, camera, crop_cache=crop_cache)
@@ -230,6 +236,36 @@ def register_backend(spec, factory):
 def available_backends():
     """Registered backend specs, sorted."""
     return sorted(_REGISTRY)
+
+
+def backend_spec(spec_or_backend):
+    """Normalise a backend spec string or backend instance to its spec.
+
+    The single place spec strings come from: callers that branch on the
+    spec (``"hw:"`` prefixes, cache keys, reports) use this instead of
+    assuming they were handed a string.
+    """
+    if isinstance(spec_or_backend, str):
+        return spec_or_backend
+    spec = getattr(spec_or_backend, "spec", None)
+    if isinstance(spec, str):
+        return spec
+    raise TypeError(
+        "expected a backend spec string or a backend instance with a "
+        f"'spec' attribute, got {type(spec_or_backend).__name__}")
+
+
+def resolve_backend(spec_or_backend, device=None, device_name="orin"):
+    """Return a backend instance for a spec string *or* a ready instance.
+
+    Backend instances (anything implementing :class:`RendererBackend`)
+    pass through unchanged; strings go through :func:`create_backend`.
+    """
+    if not isinstance(spec_or_backend, str) and hasattr(
+            spec_or_backend, "render_stream"):
+        return spec_or_backend
+    return create_backend(backend_spec(spec_or_backend), device=device,
+                          device_name=device_name)
 
 
 def create_backend(spec, device=None, device_name="orin"):

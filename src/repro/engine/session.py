@@ -22,7 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.engine import cache as engine_cache
-from repro.engine.backends import create_backend
+from repro.engine.backends import backend_spec, resolve_backend
 from repro.engine.executor import frame_seed, run_frames
 from repro.gaussians.preprocess import preprocess
 from repro.render.splat_raster import rasterize_splats
@@ -196,16 +196,26 @@ class RenderSession:
                  result_cache=None):
         self.profile = (scene if isinstance(scene, SceneProfile)
                         else get_profile(scene))
-        self.backend_spec = backend
+        # Specs are normalised once here: ``backend``/``baseline`` may be
+        # registry spec strings or ready backend instances alike.  The
+        # on-disk result cache is keyed by (spec, device) strings, which
+        # only describe instances the registry itself would build — so
+        # caching is disabled when a ready instance is passed (its actual
+        # configuration is not part of the key and a differently-built
+        # instance sharing a spec must not collide).
+        self._cacheable = (isinstance(backend, str)
+                           and (baseline is None or isinstance(baseline, str)))
+        self.backend_spec = backend_spec(backend)
         self.device_name = device
         self.seed = int(seed)
-        self.backend = create_backend(backend, device_name=device)
+        self.backend = resolve_backend(backend, device_name=device)
         if baseline == "auto":
+            spec = self.backend_spec
             baseline = ("hw:baseline"
-                        if backend.startswith("hw:") and backend != "hw:baseline"
+                        if spec.startswith("hw:") and spec != "hw:baseline"
                         else None)
-        self.baseline_spec = baseline
-        self.baseline = (create_backend(baseline, device_name=device)
+        self.baseline_spec = backend_spec(baseline) if baseline else None
+        self.baseline = (resolve_backend(baseline, device_name=device)
                          if baseline else None)
         self.warm_crop_cache = bool(warm_crop_cache)
         self.result_cache = result_cache
@@ -247,7 +257,7 @@ class RenderSession:
         if n_views <= 0:
             raise ValueError(f"n_views must be positive, got {n_views}")
         key = None
-        if self.result_cache is not None:
+        if self.result_cache is not None and self._cacheable:
             key = engine_cache.trajectory_key(
                 self.profile, self.seed, self.backend_spec,
                 self.baseline_spec, self.device_name, n_views,

@@ -20,19 +20,30 @@ from repro.micro.tile_binning import tile_binning_probe
 
 RECT_SIZES = ((4, 4), (4, 8), (8, 4), (8, 8), (8, 16), (16, 8), (16, 16))
 
+#: Idle-flush window of the TC timeout probe (quads streaming past).
+TIMEOUT_QUADS = 8
 
-def run(rect_sizes=RECT_SIZES, bin_probe_tiles=(16, 32, 33, 36)):
-    """All four probes' data in one dict."""
+
+def run(rect_sizes=RECT_SIZES, bin_probe_tiles=(16, 32, 33, 36),
+        timeout_probe_tiles=(8, 16, 32)):
+    """All probes' data in one dict."""
     capacity = {size: probe_crop_cache_capacity(*size, trials=2, max_rects=80)
                 for size in rect_sizes}
     formats = pixels_per_cycle_by_format()
     quad_time = time_vs_quads_per_pixel()
     binning = {n: tile_binning_probe(n, rounds=10) for n in bin_probe_tiles}
+    # Same round-robin layout with the idle-flush rule enabled: bins now
+    # flush by timeout between visits, which the dedicated stat surfaces.
+    binning_timeout = {
+        n: tile_binning_probe(n, rounds=10, timeout_quads=TIMEOUT_QUADS)
+        for n in timeout_probe_tiles
+    }
     return {
         "crop_cache_capacity": capacity,
         "pixels_per_cycle": formats,
         "time_vs_quads_per_pixel": quad_time,
         "tile_binning": binning,
+        "tile_binning_timeout": binning_timeout,
     }
 
 
@@ -59,6 +70,12 @@ def main():
         [[n, d["rects"], d["warps"]]
          for n, d in data["tile_binning"].items()],
         title="Tile-binning probe (SVII-A): the 32-bin cliff"))
+    print()
+    print(format_table(
+        ["Screen tiles", "Rectangles", "Warps launched", "Timeout flushes"],
+        [[n, d["rects"], d["warps"], d["tc_timeouts"]]
+         for n, d in data["tile_binning_timeout"].items()],
+        title=f"TC idle-flush probe (timeout after {TIMEOUT_QUADS} quads)"))
 
 
 if __name__ == "__main__":

@@ -17,6 +17,11 @@ from repro.hwmodel.config import (
 )
 from repro.hwmodel.stats import PipelineStats, UnitStats
 from repro.hwmodel.caches import LRUCache
+from repro.hwmodel.flushplan import (
+    FlushPlan,
+    build_flush_plan,
+    execute_flush_plan,
+)
 from repro.hwmodel.pipeline import DrawResult, GraphicsPipeline
 from repro.hwmodel.energy import draw_energy
 from repro.hwmodel.report import compare_variants, draw_report
@@ -26,6 +31,7 @@ __all__ = [
     "compare_variants",
     "draw_report",
     "DrawTrace",
+    "FlushPlan",
     "GPUConfig",
     "EnergyTable",
     "jetson_agx_orin",
@@ -35,5 +41,7 @@ __all__ = [
     "LRUCache",
     "DrawResult",
     "GraphicsPipeline",
+    "build_flush_plan",
     "draw_energy",
+    "execute_flush_plan",
 ]

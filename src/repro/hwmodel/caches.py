@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
+import numpy as np
+
 
 class LRUCache:
     """Fully-associative LRU cache over line addresses.
@@ -85,3 +87,56 @@ class LRUCache:
         for tag in tags:
             self.access_line(int(tag), write=write)
         return self.misses - before
+
+    def access_segmented(self, tags, seg_splits, write=False):
+        """Replay a segmented tag stream; returns per-segment miss counts.
+
+        ``seg_splits`` is an ascending int array of ``n_segments + 1``
+        offsets into ``tags`` (first 0, last ``len(tags)``).  Equivalent to
+        one :meth:`access_many` call per segment — LRU state and the
+        hit/miss/eviction/writeback counters evolve identically — but a
+        single tight loop replaces per-segment (and per-line) Python call
+        overhead, which is what lets the batched flush engine replay a
+        whole draw's cache traffic at once.
+        """
+        tags = np.asarray(tags)
+        bounds = np.asarray(seg_splits, dtype=np.int64)
+        if bounds.ndim != 1 or bounds.shape[0] < 1:
+            raise ValueError("seg_splits must be a 1-D offset array")
+        if (bounds[0] != 0 or bounds[-1] != tags.shape[0]
+                or np.any(np.diff(bounds) < 0)):
+            raise ValueError("seg_splits must ascend from 0 to len(tags)")
+        n_segments = bounds.shape[0] - 1
+        out = np.zeros(n_segments, dtype=np.int64)
+        lines = self._lines
+        n_lines = self.n_lines
+        move_to_end = lines.move_to_end
+        popitem = lines.popitem
+        dirty = bool(write)
+        hits = misses = evictions = writebacks = 0
+        tag_list = tags.tolist()
+        bound_list = bounds.tolist()
+        for seg in range(n_segments):
+            seg_misses = 0
+            for i in range(bound_list[seg], bound_list[seg + 1]):
+                tag = tag_list[i]
+                if tag in lines:
+                    hits += 1
+                    move_to_end(tag)
+                    if dirty:
+                        lines[tag] = True
+                else:
+                    seg_misses += 1
+                    if len(lines) >= n_lines:
+                        _, was_dirty = popitem(last=False)
+                        evictions += 1
+                        if was_dirty:
+                            writebacks += 1
+                    lines[tag] = dirty
+            out[seg] = seg_misses
+            misses += seg_misses
+        self.hits += hits
+        self.misses += misses
+        self.evictions += evictions
+        self.writebacks += writebacks
+        return out

@@ -87,6 +87,13 @@ class GPUConfig:
     fine_raster_quads_per_cycle: float = 8.0
     # Tile coalescing insert throughput (never the bottleneck in practice).
     tc_quads_per_cycle: float = 8.0
+    # TC idle-flush rule: a bin untouched while this many quads (for other
+    # tiles) stream past is flushed with cause "timeout".  ``None``
+    # disables the rule (capacity/eviction dominate splatting workloads);
+    # the §VII microbenchmark probes enable it to mimic idle-flush
+    # behaviour, and the flushes it causes are reported separately in
+    # ``PipelineStats.tc_flush_timeout``.
+    tc_timeout_quads: int | None = None
     # PROP handles ordering on the way into the SMs and into the CROP; a
     # quad passes it twice, and its items count both directions.  4/cycle
     # keeps the CROP the limiter for opaque RGBA8 microbenchmarks while the
@@ -144,6 +151,8 @@ class GPUConfig:
                      "tgc_bin_prims", "stencil_bits"):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
+        if self.tc_timeout_quads is not None and self.tc_timeout_quads <= 0:
+            raise ValueError("tc_timeout_quads must be positive or None")
         if not 0.0 < self.termination_alpha < 1.0:
             raise ValueError("termination_alpha must be in (0, 1)")
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.hwmodel.caches import LRUCache
+from repro.hwmodel.units import as_index_array
 
 
 class CropUnit:
@@ -46,12 +47,15 @@ class CropUnit:
         line_tags:
             Iterable of colour-buffer line tags the batch touches (callers
             pass first-occurrence-unique tags per flush; repeats within a
-            flush are guaranteed hits and carry no information).
+            flush are guaranteed hits and carry no information).  Any
+            iterable works, including one-shot generators — tags are
+            normalised to an array before length or traffic accounting.
         """
         if n_quads == 0:
             return
+        line_tags = as_index_array(line_tags)
         misses = self.cache.access_many(line_tags, write=True)
-        hits = len(line_tags) - misses
+        hits = line_tags.shape[0] - misses
         self.stats.crop_cache_hits += hits
         self.stats.crop_cache_misses += misses
         cycles = (n_quads / self.config.crop_quads_per_cycle
@@ -66,14 +70,45 @@ class CropUnit:
             self.stats.units["dram"].add(
                 misses, bytes_moved / self.config.dram_bytes_per_cycle)
 
-    def quad_line_tags(self, qx, qy, width):
-        """Colour-buffer line tags touched by quads at ``(qx, qy)``.
+    def blend_plan(self, n_crop_quads, n_fragments, line_tags, tag_splits):
+        """Batched accounting for every per-flush CROP blend of a draw.
+
+        ``n_crop_quads``/``n_fragments`` are parallel per-flush arrays;
+        ``line_tags`` concatenates every flush's first-occurrence-unique
+        line tags, with ``tag_splits`` delimiting flushes.  The replay
+        runs through the real (possibly shared/warm) LRU cache, so
+        hit/miss totals and the end-of-draw cache state are bit-identical
+        to one :meth:`blend_batch` call per flush.  DRAM traffic is *not*
+        accounted here — the caller interleaves it with the ZROP stream
+        to preserve the scalar accumulation order.  Returns the per-flush
+        miss counts.
+        """
+        n_crop_quads = np.asarray(n_crop_quads, dtype=np.int64)
+        n_fragments = np.asarray(n_fragments, dtype=np.int64)
+        misses = self.cache.access_segmented(line_tags, tag_splits,
+                                             write=True)
+        n_tags = int(np.asarray(tag_splits, dtype=np.int64)[-1])
+        total_misses = int(misses.sum())
+        self.stats.crop_cache_hits += n_tags - total_misses
+        self.stats.crop_cache_misses += total_misses
+        cycles = (n_crop_quads / self.config.crop_quads_per_cycle
+                  + misses * self.config.crop_miss_stall_cycles)
+        self.stats.units["crop"].add_sequence(int(n_crop_quads.sum()), cycles)
+        self.stats.quads_to_crop += int(n_crop_quads.sum())
+        self.stats.fragments_blended += int(n_fragments.sum())
+        return misses
+
+    def quad_line_tag_pairs(self, qx, qy, width):
+        """Interleaved colour-buffer line tags per quad, *without* dedup.
 
         A 2x2 quad at quad coords (qx, qy) covers pixel rows ``2*qy`` and
         ``2*qy + 1``; with ``bytes_per_pixel`` from the active format, each
         row lands in one cache line horizontally (quads never straddle a
         line boundary because 128 B covers >= 16 pixels).  Returns an int64
-        array of 2 tags per quad, deduplicated preserving first occurrence.
+        array of 2 tags per quad (row ``2*qy`` first).  This is the single
+        definition of the tag layout: :meth:`quad_line_tags` dedups it per
+        flush and the batched flush engine dedups the whole-draw stream
+        per flush downstream.
         """
         qx = np.asarray(qx, dtype=np.int64)
         qy = np.asarray(qy, dtype=np.int64)
@@ -85,7 +120,11 @@ class CropUnit:
         tags = np.empty(qx.shape[0] * 2, dtype=np.int64)
         tags[0::2] = row0 * lines_per_row + line_in_row
         tags[1::2] = (row0 + 1) * lines_per_row + line_in_row
-        # First-occurrence-preserving dedup.
+        return tags
+
+    def quad_line_tags(self, qx, qy, width):
+        """Line tags of :meth:`quad_line_tag_pairs`, first-occurrence-unique."""
+        tags = self.quad_line_tag_pairs(qx, qy, width)
         _, first_idx = np.unique(tags, return_index=True)
         return tags[np.sort(first_idx)]
 

@@ -1,0 +1,325 @@
+"""Batched flush-plan engine: plan a draw's flush schedule, execute it at once.
+
+The scalar pipeline walks ~tens of thousands of TC-bin flushes per draw,
+paying ~30 µs of Python per flush for arithmetic that is tiny per flush but
+identical in shape across flushes.  The TC/TGC bin dynamics, however, are
+*deterministic* given the insertion sequence — which the
+:class:`~repro.hwmodel.pipeline.DrawWorkload` fixes up front — so the whole
+schedule can be computed first and the per-flush math vectorised after.
+
+The engine runs in two phases:
+
+:func:`build_flush_plan`
+    Replays the bin dynamics at *range* granularity (every inserted group
+    is a contiguous quad-table row slice, and bin overflow only splits
+    ranges into subranges) via :class:`~repro.hwmodel.tc.RangeTileCoalescer`
+    — and, for QM variants, :meth:`~repro.hwmodel.tgc.TileGridCoalescer.
+    plan_groups` — producing a :class:`FlushPlan`: flat per-flush
+    ``tile``/``reason`` arrays plus row-segment offsets.
+
+:func:`execute_flush_plan`
+    Runs the ZROP termination test, QRU pair planning, SM shading, PROP and
+    CROP accounting over *all* flushes at once with ``reduceat``/``bincount``
+    segment ops.  Exactness is preserved by two rules:
+
+    * every floating-point accumulator receives its per-flush contributions
+      through :meth:`~repro.hwmodel.stats.UnitStats.add_sequence`, i.e. in
+      the same order and with the same sequential rounding as the scalar
+      loop (skipped scalar calls become exact ``+0.0`` no-ops);
+    * the exact-LRU z- and CROP-cache traffic is replayed over the
+      deduplicated per-flush tag streams through the *real* cache objects
+      (group-granular for the stencil cache), so hit/miss counts — and the
+      warm-cache state carried across draws — stay bit-identical.
+
+    The golden flush-engine tests enforce cycle-, stat- and trace-exact
+    equivalence against the scalar path on all four hardware variants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hwmodel.prop import plan_merges_segmented
+from repro.hwmodel.tc import RangeTileCoalescer, TileCoalescer
+from repro.hwmodel.tgc import TileGridCoalescer
+from repro.hwmodel.units import popcount4
+
+#: Quad positions per screen tile (8x8), the QRU pairing key space.
+N_QUAD_POSITIONS = 64
+
+
+class FlushPlan:
+    """The complete flush schedule of one draw, as flat arrays.
+
+    Attributes
+    ----------
+    tile:
+        int64 ``(n_flushes,)`` — flushed screen tile per flush.
+    reason:
+        list of flush-cause strings (:class:`~repro.hwmodel.tc.
+        TileCoalescer` constants), parallel to ``tile``.
+    rows:
+        int64 ``(n_rows,)`` — concatenated quad-table rows of every flush,
+        in flush order (arrival order within each flush).
+    row_splits:
+        int64 ``(n_flushes + 1,)`` — offsets of each flush in ``rows``.
+    raster_portions, raster_tiles, raster_quads:
+        Rasteriser work totals (primitive portions, raster tiles, quads).
+    tc_flush_counts, tgc_flush_counts:
+        Flush-cause counters of the TC pass and (for QM+TGC draws) the TGC
+        pass; ``tgc_flush_counts`` is ``None`` otherwise.
+    """
+
+    __slots__ = ("tile", "reason", "rows", "row_splits", "raster_portions",
+                 "raster_tiles", "raster_quads", "tc_flush_counts",
+                 "tgc_flush_counts", "quads_inserted")
+
+    def __init__(self, tile, reason, rows, row_splits, raster_portions,
+                 raster_tiles, raster_quads, tc_flush_counts,
+                 tgc_flush_counts, quads_inserted):
+        self.tile = tile
+        self.reason = reason
+        self.rows = rows
+        self.row_splits = row_splits
+        self.raster_portions = int(raster_portions)
+        self.raster_tiles = int(raster_tiles)
+        self.raster_quads = int(raster_quads)
+        self.tc_flush_counts = tc_flush_counts
+        self.tgc_flush_counts = tgc_flush_counts
+        self.quads_inserted = int(quads_inserted)
+
+    @property
+    def n_flushes(self):
+        return self.tile.shape[0]
+
+    @property
+    def n_rows(self):
+        return self.rows.shape[0]
+
+    def __repr__(self):
+        return (f"FlushPlan(flushes={self.n_flushes}, rows={self.n_rows}, "
+                f"tgc={'on' if self.tgc_flush_counts is not None else 'off'})")
+
+
+def _expand_segments(seg_starts, seg_ends):
+    """Concatenate ``arange(s, e)`` for every segment, vectorised."""
+    starts = np.asarray(seg_starts, dtype=np.int64)
+    ends = np.asarray(seg_ends, dtype=np.int64)
+    lengths = ends - starts
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), np.zeros(1, dtype=np.int64)
+    offsets = np.concatenate(([0], np.cumsum(lengths)))
+    rows = (np.arange(total, dtype=np.int64)
+            + np.repeat(starts - offsets[:-1], lengths))
+    return rows, offsets
+
+
+def build_flush_plan(workload, config):
+    """Plan the entire flush schedule of ``workload`` under ``config``.
+
+    Follows the exact group-insertion sequence of the scalar pipeline —
+    draw order, or TGC grid-group order for QM variants — through the
+    range-level coalescer, so the resulting schedule is flush-for-flush
+    identical to what :class:`~repro.hwmodel.tc.TileCoalescer` would emit.
+    """
+    tc = RangeTileCoalescer(config.n_tc_bins, config.tc_bin_quads,
+                            config.tc_timeout_quads)
+    tgc_counts = None
+    if config.enable_qm and config.qm_use_tgc:
+        tgc = TileGridCoalescer(config.n_tgc_bins, config.tgc_bin_prims)
+        group_tile = workload.group_tile
+        group_starts = workload.group_starts
+        group_ends = workload.group_ends
+        portions = 0
+        raster_tiles = 0
+        raster_quads = 0
+        for grid_id, prims, _reason in tgc.plan_groups(workload.pair_grid,
+                                                       workload.pair_prim):
+            sel, n_portions = workload.select_grid_groups(grid_id, prims)
+            if not sel.size:
+                continue
+            portions += n_portions
+            raster_tiles += int(workload.group_n_rtiles[sel].sum())
+            raster_quads += int(workload.group_n_quads[sel].sum())
+            for tile, s, e in zip(group_tile[sel].tolist(),
+                                  group_starts[sel].tolist(),
+                                  group_ends[sel].tolist()):
+                tc.insert_group(tile, s, e)
+        tgc_counts = dict(tgc.flush_counts)
+    else:
+        portions = len(workload.prim_group_ranges)
+        raster_tiles = int(workload.group_n_rtiles.sum())
+        raster_quads = int(workload.group_n_quads.sum())
+        for tile, s, e in zip(workload.group_tile.tolist(),
+                              workload.group_starts.tolist(),
+                              workload.group_ends.tolist()):
+            tc.insert_group(tile, s, e)
+    tc.drain()
+
+    rows, seg_offsets = _expand_segments(tc.seg_starts, tc.seg_ends)
+    flush_seg_bounds = np.asarray(tc.flush_seg_bounds, dtype=np.int64)
+    row_splits = seg_offsets[flush_seg_bounds]
+    return FlushPlan(
+        tile=np.asarray(tc.flush_tile, dtype=np.int64),
+        reason=tc.flush_reason,
+        rows=rows,
+        row_splits=row_splits,
+        raster_portions=portions,
+        raster_tiles=raster_tiles,
+        raster_quads=raster_quads,
+        tc_flush_counts=dict(tc.flush_counts),
+        tgc_flush_counts=tgc_counts,
+        quads_inserted=tc.quads_inserted,
+    )
+
+
+def execute_flush_plan(plan, workload, config, stats, crop, zrop, shader,
+                       trace=None):
+    """Run every flush of ``plan`` through the modelled back half at once.
+
+    Vectorised equivalent of calling ``GraphicsPipeline._process_flush``
+    per flush — same counters, same cycle totals bit-for-bit, same trace.
+    """
+    n_flushes = plan.n_flushes
+    if n_flushes == 0:
+        return
+    cfg = config
+    quads = workload.quads
+    rows = plan.rows
+    row_splits = plan.row_splits
+    n_flush = np.diff(row_splits)
+    flush_of_row = np.repeat(np.arange(n_flushes, dtype=np.int64), n_flush)
+
+    # TC insertion throughput, accounted at flush over each whole batch.
+    stats.units["tc"].add_sequence(
+        int(n_flush.sum()), n_flush / cfg.tc_quads_per_cycle)
+
+    # ZROP termination test (HET): discard fully-terminated quads before
+    # shading and replay the stencil-line traffic.
+    if cfg.enable_het:
+        surviving = quads.mask_unterminated[rows] != 0
+        surv_rows = rows[surviving]
+        surv_flush = flush_of_row[surviving]
+        n_surv = np.bincount(surv_flush, minlength=n_flushes)
+        zrop_misses = zrop.termination_test_plan(
+            plan.tile, n_flush, n_surv, workload.width)
+        blend_masks = quads.mask_et[surv_rows]
+    else:
+        surv_rows = rows
+        surv_flush = flush_of_row
+        n_surv = n_flush
+        zrop_misses = np.zeros(n_flushes, dtype=np.int64)
+        blend_masks = quads.mask_unpruned[surv_rows]
+
+    nonempty = n_surv > 0
+
+    # QRU pair planning + SM fragment shading.
+    if cfg.enable_qm:
+        merge = plan_merges_segmented(surv_flush, quads.qpos[surv_rows],
+                                      n_flushes, N_QUAD_POSITIONS)
+        pairs_f = merge.pairs_per_segment
+        shader.shade_fragment_batches(n_surv, pairs_f)
+        stats.quads_merged_pairs += int(pairs_f.sum())
+        # Post-merge output stream, in the scalar per-flush order: each
+        # flush's merge pairs (position-major) first, then its singles
+        # (arrival order).
+        singles_f = np.bincount(surv_flush[merge.singles],
+                                minlength=n_flushes)
+        out_counts = pairs_f + singles_f
+        out_splits = np.concatenate(
+            ([0], np.cumsum(out_counts))).astype(np.int64)
+        pair_offsets = np.concatenate(([0], np.cumsum(pairs_f)))[:-1]
+        single_offsets = np.concatenate(([0], np.cumsum(singles_f)))[:-1]
+        f_pair = surv_flush[merge.first]
+        f_single = surv_flush[merge.singles]
+        pair_local = (np.arange(merge.n_pairs, dtype=np.int64)
+                      - pair_offsets[f_pair])
+        single_local = (np.arange(merge.singles.shape[0], dtype=np.int64)
+                        - single_offsets[f_single])
+        n_out = int(out_counts.sum())
+        out_rows = np.empty(n_out, dtype=np.int64)
+        out_masks = np.empty(n_out, dtype=blend_masks.dtype)
+        pair_pos = out_splits[f_pair] + pair_local
+        single_pos = out_splits[f_single] + pairs_f[f_single] + single_local
+        out_rows[pair_pos] = surv_rows[merge.first]
+        out_masks[pair_pos] = (blend_masks[merge.first]
+                               | blend_masks[merge.second])
+        out_rows[single_pos] = surv_rows[merge.singles]
+        out_masks[single_pos] = blend_masks[merge.singles]
+        out_flush = np.repeat(np.arange(n_flushes, dtype=np.int64),
+                              out_counts)
+    else:
+        pairs_f = np.zeros(n_flushes, dtype=np.int64)
+        shader.shade_fragment_batches(n_surv, pairs_f)
+        out_rows = surv_rows
+        out_masks = blend_masks
+        out_flush = surv_flush
+
+    # CROP-visible quads and fragments.
+    live = out_masks != 0
+    live_flush = out_flush[live]
+    n_crop = np.bincount(live_flush, minlength=n_flushes)
+    frag_counts = np.bincount(live_flush,
+                              weights=popcount4(out_masks[live]),
+                              minlength=n_flushes).astype(np.int64)
+
+    # PROP: dispatch toward the SMs plus the ordered return into the CROP
+    # stream; skipped entirely for flushes with no survivors.
+    prop_work = cfg.prop_dispatch_weight * n_flush + n_crop
+    prop_cycles = np.where(nonempty, prop_work / cfg.prop_quads_per_cycle,
+                           0.0)
+    prop_items = int((n_flush + n_crop)[nonempty].sum())
+    stats.units["prop"].add_sequence(prop_items, prop_cycles)
+
+    # CROP blends: per-flush first-occurrence-unique line tags, replayed
+    # through the real LRU cache in flush order.
+    live_rows = out_rows[live]
+    tag_stream = crop.quad_line_tag_pairs(quads.qx[live_rows],
+                                          quads.qy[live_rows],
+                                          workload.width)
+    tag_flush = np.repeat(live_flush, 2)
+    if live_rows.shape[0]:
+        tag_space = int(tag_stream.max()) + 1
+        _, first_idx = np.unique(tag_flush * tag_space + tag_stream,
+                                 return_index=True)
+        keep = np.sort(first_idx)
+        dedup_tags = tag_stream[keep]
+        dedup_flush = tag_flush[keep]
+    else:
+        dedup_tags = np.empty(0, dtype=np.int64)
+        dedup_flush = np.empty(0, dtype=np.int64)
+    tag_splits = np.concatenate(
+        ([0], np.cumsum(np.bincount(dedup_flush,
+                                    minlength=n_flushes)))).astype(np.int64)
+    crop_misses = crop.blend_plan(n_crop, frag_counts, dedup_tags,
+                                  tag_splits)
+
+    # DRAM: the scalar loop interleaves the ZROP stencil fills and the
+    # CROP fill+writeback traffic per flush; replicate that order.
+    zrop_bytes = zrop_misses * cfg.cache_line_bytes
+    crop_bytes = crop_misses * cfg.cache_line_bytes * 2
+    dram_cycles = np.empty(2 * n_flushes, dtype=np.float64)
+    dram_cycles[0::2] = zrop_bytes / cfg.dram_bytes_per_cycle
+    dram_cycles[1::2] = crop_bytes / cfg.dram_bytes_per_cycle
+    stats.units["dram"].add_sequence(
+        int(zrop_misses.sum() + crop_misses.sum()), dram_cycles)
+    stats.dram_bytes += float(int(zrop_bytes.sum() + crop_bytes.sum()))
+
+    if trace is not None:
+        trace.record_flushes(plan.tile, plan.reason, n_flush, n_surv,
+                             pairs_f, n_crop)
+
+
+def apply_flush_counts(plan, stats):
+    """Copy the plan's TC/TGC flush-cause counters into ``stats``."""
+    tc_counts = plan.tc_flush_counts
+    stats.tc_flush_full = tc_counts[TileCoalescer.FLUSH_FULL]
+    stats.tc_flush_evict = tc_counts[TileCoalescer.FLUSH_EVICT]
+    stats.tc_flush_timeout = tc_counts[TileCoalescer.FLUSH_TIMEOUT]
+    stats.tc_flush_final = tc_counts[TileCoalescer.FLUSH_FINAL]
+    if plan.tgc_flush_counts is not None:
+        tgc_counts = plan.tgc_flush_counts
+        stats.tgc_flush_full = tgc_counts[TileGridCoalescer.FLUSH_FULL]
+        stats.tgc_flush_evict = tgc_counts[TileGridCoalescer.FLUSH_EVICT]
+        stats.tgc_flush_final = tgc_counts[TileGridCoalescer.FLUSH_FINAL]

@@ -23,6 +23,11 @@ import numpy as np
 
 from repro.hwmodel.config import GPUConfig
 from repro.hwmodel.crop import CropUnit
+from repro.hwmodel.flushplan import (
+    apply_flush_counts,
+    build_flush_plan,
+    execute_flush_plan,
+)
 from repro.hwmodel.prop import plan_merges
 from repro.hwmodel.raster_hw import RasterEngine
 from repro.hwmodel.sm import ShaderArray
@@ -69,9 +74,10 @@ class DrawWorkload:
         n_prims = stream.prim_colors.shape[0]
         # Pixels whose accumulated alpha saturates generate exactly one
         # termination update each (the CROP alpha test's double-sided
-        # condition fires once per pixel).
-        _, alpha_map = stream.blend_image(early_term=False)
-        terminated = alpha_map.reshape(-1) >= config.termination_alpha
+        # condition fires once per pixel).  The stream's cached accumulated
+        # alpha is the alpha map of a full blend — reusing it avoids
+        # re-running the whole colour blend per draw.
+        terminated = stream.accumulated_alpha >= config.termination_alpha
         term_pixels = np.flatnonzero(terminated)
         lines_per_row = max(1, -(-stream.width // config.cache_line_bytes))
         ys, xs = np.divmod(term_pixels, stream.width)
@@ -139,6 +145,27 @@ class DrawWorkload:
         pairs = np.unique(self.group_prim * n_grids + self.group_grid)
         self.pair_prim, self.pair_grid = np.divmod(pairs, n_grids)
 
+    def select_grid_groups(self, grid_id, prims):
+        """(prim, tile) group indices of ``prims`` falling in ``grid_id``.
+
+        Returns ``(sel, n_portions)``: the group rows in the per-primitive
+        order a TGC flush dictates, and the number of primitives with at
+        least one group in the grid.  Shared by the scalar grid-group
+        rasterisation and the batched flush planner so both engines select
+        identical work in identical order.
+        """
+        selected = []
+        n_portions = 0
+        for prim in prims:
+            s, e = self.prim_group_ranges[prim]
+            in_grid = np.flatnonzero(self.group_grid[s:e] == grid_id) + s
+            if in_grid.size:
+                n_portions += 1
+                selected.append(in_grid)
+        if not selected:
+            return np.empty(0, dtype=np.int64), 0
+        return np.concatenate(selected), n_portions
+
     @property
     def prims_with_quads(self):
         """Primitive rows that produced at least one quad, in draw order."""
@@ -170,7 +197,17 @@ class DrawResult:
 
 
 class GraphicsPipeline:
-    """The modelled GPU pipeline; one instance per draw call."""
+    """The modelled GPU pipeline; one instance per draw call.
+
+    Two execution engines produce identical results: the default
+    ``"batched"`` engine precomputes the draw's entire flush schedule
+    (:mod:`repro.hwmodel.flushplan`) and runs the per-flush math over all
+    flushes at once, while ``"scalar"`` walks the TC flushes one by one —
+    the original reference path, kept for validation and as the golden
+    oracle of the flush-engine equivalence tests.
+    """
+
+    ENGINES = ("batched", "scalar")
 
     def __init__(self, config=None):
         self.config = config if config is not None else GPUConfig()
@@ -180,14 +217,20 @@ class GraphicsPipeline:
 
     # ------------------------------------------------------------------
 
-    def draw(self, workload_or_stream, crop_cache=None, trace=None):
+    def draw(self, workload_or_stream, crop_cache=None, trace=None,
+             engine="batched"):
         """Simulate one draw call; returns a :class:`DrawResult`.
 
         ``crop_cache`` optionally shares a warm CROP cache across draws
         (used by the §VII microbenchmark probes).  ``trace`` optionally
         collects per-flush events into a
-        :class:`~repro.hwmodel.trace.DrawTrace`.
+        :class:`~repro.hwmodel.trace.DrawTrace`.  ``engine`` selects the
+        batched flush-plan engine (default) or the scalar per-flush path;
+        both are cycle-, stat- and trace-exact against each other.
         """
+        if engine not in self.ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; choose from {self.ENGINES}")
         if isinstance(workload_or_stream, FragmentStream):
             workload = DrawWorkload.from_stream(workload_or_stream, self.config)
         elif isinstance(workload_or_stream, DrawWorkload):
@@ -205,21 +248,13 @@ class GraphicsPipeline:
         raster = RasterEngine(cfg, stats)
         crop = CropUnit(cfg, stats, cache=crop_cache)
         zrop = ZropUnit(cfg, stats)
-        tc = TileCoalescer(cfg.n_tc_bins, cfg.tc_bin_quads)
 
         vertex.process_prims(workload.n_prims)
 
-        if cfg.enable_qm and cfg.qm_use_tgc:
-            self._run_with_tgc(workload, raster, tc, crop, zrop, shader, stats)
+        if engine == "batched":
+            self._draw_batched(workload, raster, crop, zrop, shader, stats)
         else:
-            self._run_in_draw_order(workload, raster, tc, crop, zrop, shader, stats)
-
-        for batch in tc.drain():
-            self._process_flush(batch, workload, crop, zrop, shader, stats)
-        stats.tc_flush_full = tc.flush_counts[TileCoalescer.FLUSH_FULL]
-        stats.tc_flush_evict = tc.flush_counts[TileCoalescer.FLUSH_EVICT]
-        stats.tc_flush_final = (tc.flush_counts[TileCoalescer.FLUSH_FINAL]
-                                + tc.flush_counts[TileCoalescer.FLUSH_TIMEOUT])
+            self._draw_scalar(workload, raster, crop, zrop, shader, stats)
 
         if cfg.enable_het:
             zrop.termination_updates(workload.n_terminated_pixels,
@@ -230,6 +265,34 @@ class GraphicsPipeline:
         stats.finalize(cfg.pipeline_fill_cycles)
         self._trace = None
         return DrawResult(stats, cfg, workload)
+
+    # ------------------------------------------------------------------
+
+    def _draw_batched(self, workload, raster, crop, zrop, shader, stats):
+        """Plan the flush schedule, then execute every flush at once."""
+        plan = build_flush_plan(workload, self.config)
+        raster.accumulate(plan.raster_portions, plan.raster_tiles,
+                          plan.raster_quads)
+        execute_flush_plan(plan, workload, self.config, stats, crop, zrop,
+                           shader, trace=self._trace)
+        apply_flush_counts(plan, stats)
+
+    def _draw_scalar(self, workload, raster, crop, zrop, shader, stats):
+        """Reference path: walk TC flushes one by one."""
+        cfg = self.config
+        tc = TileCoalescer(cfg.n_tc_bins, cfg.tc_bin_quads,
+                           cfg.tc_timeout_quads)
+        if cfg.enable_qm and cfg.qm_use_tgc:
+            self._run_with_tgc(workload, raster, tc, crop, zrop, shader, stats)
+        else:
+            self._run_in_draw_order(workload, raster, tc, crop, zrop, shader, stats)
+
+        for batch in tc.drain():
+            self._process_flush(batch, workload, crop, zrop, shader, stats)
+        stats.tc_flush_full = tc.flush_counts[TileCoalescer.FLUSH_FULL]
+        stats.tc_flush_evict = tc.flush_counts[TileCoalescer.FLUSH_EVICT]
+        stats.tc_flush_timeout = tc.flush_counts[TileCoalescer.FLUSH_TIMEOUT]
+        stats.tc_flush_final = tc.flush_counts[TileCoalescer.FLUSH_FINAL]
 
     # ------------------------------------------------------------------
 
@@ -281,17 +344,9 @@ class GraphicsPipeline:
         the grid, accumulates their raster counts once, and batch-inserts
         the groups into the TC unit in the original per-primitive order.
         """
-        selected = []
-        n_portions = 0
-        for prim in prims:
-            s, e = workload.prim_group_ranges[prim]
-            in_grid = np.flatnonzero(workload.group_grid[s:e] == grid_id) + s
-            if in_grid.size:
-                n_portions += 1
-                selected.append(in_grid)
-        if not selected:
+        sel, n_portions = workload.select_grid_groups(grid_id, prims)
+        if not sel.size:
             return
-        sel = np.concatenate(selected)
         raster.accumulate(n_portions,
                           int(workload.group_n_rtiles[sel].sum()),
                           int(workload.group_n_quads[sel].sum()))

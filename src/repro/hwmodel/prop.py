@@ -81,6 +81,73 @@ def plan_merges(qpos):
                      singles=singles.astype(np.int64))
 
 
+class SegmentedMergePlan:
+    """QRU pairing for *every* flush of a draw at once.
+
+    ``first``/``second``/``singles`` are global indices into the input
+    arrays; ``pairs_per_segment`` counts merge pairs per flush.  Restricted
+    to one segment, the indices reproduce exactly what per-flush
+    :func:`plan_merges` would return.
+    """
+
+    __slots__ = ("first", "second", "singles", "pairs_per_segment")
+
+    def __init__(self, first, second, singles, pairs_per_segment):
+        self.first = first
+        self.second = second
+        self.singles = singles
+        self.pairs_per_segment = pairs_per_segment
+
+    @property
+    def n_pairs(self):
+        return self.first.shape[0]
+
+
+def plan_merges_segmented(segment_ids, qpos, n_segments, n_positions=64):
+    """Vectorised QRU pairing across many flush batches.
+
+    ``segment_ids`` must be non-decreasing (quads grouped by flush, in
+    arrival order within each flush) and ``qpos`` in ``[0, n_positions)``.
+    A single stable sort over the combined ``(segment, position)`` key
+    reproduces the per-flush register-file scan: within each flush,
+    ``first``/``second`` list the pairs in (position, arrival) order and
+    ``singles`` the unpaired quads in arrival order — exactly the order
+    :func:`plan_merges` emits, which downstream CROP-tag dedup (and hence
+    the exact-LRU cache replay) depends on.
+    """
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    qpos = np.asarray(qpos)
+    n = qpos.shape[0]
+    empty = np.empty(0, dtype=np.int64)
+    if n == 0:
+        return SegmentedMergePlan(empty, empty, empty,
+                                  np.zeros(n_segments, dtype=np.int64))
+    if int(qpos.max()) >= n_positions:
+        raise ValueError("qpos out of range for n_positions")
+    key = segment_ids * np.int64(n_positions) + qpos
+    order = np.argsort(key, kind="stable")
+    sorted_key = key[order]
+    is_start = np.empty(n, dtype=bool)
+    is_start[0] = True
+    np.not_equal(sorted_key[1:], sorted_key[:-1], out=is_start[1:])
+    group_start = np.maximum.accumulate(np.where(is_start, np.arange(n), 0))
+    rank = np.arange(n) - group_start
+    has_next = np.zeros(n, dtype=bool)
+    has_next[:-1] = ~is_start[1:]
+    first_mask = (rank % 2 == 0) & has_next
+    first = order[first_mask]
+    second = order[np.flatnonzero(first_mask) + 1]
+    paired = np.zeros(n, dtype=bool)
+    paired[first] = True
+    paired[second] = True
+    singles = np.flatnonzero(~paired)
+    pairs_per_segment = np.bincount(segment_ids[first], minlength=n_segments)
+    return SegmentedMergePlan(first.astype(np.int64),
+                              second.astype(np.int64),
+                              singles.astype(np.int64),
+                              pairs_per_segment.astype(np.int64))
+
+
 def qru_storage_bytes(n_quad_buffer=128, cbe_pointer_bytes=4,
                       qpos_bits=6, n_registers=64, register_bytes=1,
                       bitmap_bits=128):

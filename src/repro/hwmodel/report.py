@@ -47,6 +47,7 @@ def draw_report(result, title=None):
     lines.append(
         f"tile coalescing: {stats.tc_flushes():,} flushes "
         f"(full={stats.tc_flush_full:,} evict={stats.tc_flush_evict:,} "
+        f"timeout={stats.tc_flush_timeout:,} "
         f"final={stats.tc_flush_final:,}); warps={stats.warps_launched:,}")
     hits = stats.crop_cache_hits
     misses = stats.crop_cache_misses

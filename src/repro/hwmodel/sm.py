@@ -11,7 +11,14 @@ blend of Figure 15.
 
 from __future__ import annotations
 
-from repro.hwmodel.units import WARP_SIZE, ceil_div, warps_for_quads
+import numpy as np
+
+from repro.hwmodel.units import (
+    QUADS_PER_WARP,
+    WARP_SIZE,
+    ceil_div,
+    warps_for_quads,
+)
 
 
 class ShaderArray:
@@ -49,3 +56,28 @@ class ShaderArray:
             self.stats.merge_warps += min(warps, ceil_div(2 * n_merge_pairs, 8))
         self.stats.quads_to_sm += int(n_quads)
         self.stats.fragments_shaded += int(n_quads) * 4
+
+    def shade_fragment_batches(self, n_quads, n_merge_pairs):
+        """Vectorised equivalent of per-flush :meth:`shade_fragment_batch`.
+
+        ``n_quads`` and ``n_merge_pairs`` are parallel per-flush arrays;
+        flushes with zero quads contribute nothing, matching the scalar
+        early return.  Issue cycles accumulate via
+        :meth:`~repro.hwmodel.stats.UnitStats.add_sequence`, keeping the
+        totals bit-identical to one call per flush.
+        """
+        n_quads = np.asarray(n_quads, dtype=np.int64)
+        pairs = np.asarray(n_merge_pairs, dtype=np.int64)
+        if n_quads.size == 0:
+            return
+        cfg = self.config
+        warps = -(-n_quads // QUADS_PER_WARP)
+        issue = (warps * cfg.frag_shader_cycles_per_warp
+                 + pairs * cfg.quad_merge_extra_cycles)
+        self.stats.units["sm"].add_sequence(
+            int(warps.sum()), issue / cfg.sm_issue_slots_per_cycle)
+        self.stats.warps_launched += int(warps.sum())
+        self.stats.merge_warps += int(
+            np.minimum(warps, -(-2 * pairs // 8)).sum())
+        self.stats.quads_to_sm += int(n_quads.sum())
+        self.stats.fragments_shaded += int(n_quads.sum()) * 4

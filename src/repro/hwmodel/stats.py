@@ -25,6 +25,23 @@ class UnitStats:
         self.items += int(items)
         self.busy_cycles += float(cycles)
 
+    def add_sequence(self, items, cycles_seq):
+        """Record a whole sequence of events in one call.
+
+        ``cycles_seq`` holds one busy-cycle value per event (a NumPy array
+        or any iterable); the values are accumulated with *sequential*
+        left-to-right float additions, so the result is bit-identical to
+        calling :meth:`add` once per event — the property the batched
+        flush engine relies on for cycle-exactness against the scalar
+        per-flush path.  ``items`` is the (order-insensitive) total.
+        """
+        values = (cycles_seq.tolist() if hasattr(cycles_seq, "tolist")
+                  else list(cycles_seq))
+        if items < 0 or any(v < 0 for v in values):
+            raise ValueError(f"negative work recorded on {self.name}")
+        self.items += int(items)
+        self.busy_cycles = sum(values, self.busy_cycles)
+
     def __repr__(self):
         return (f"UnitStats({self.name!r}, items={self.items}, "
                 f"busy={self.busy_cycles:.0f})")
@@ -65,6 +82,7 @@ class PipelineStats:
         # Bin dynamics.
         self.tc_flush_full = 0
         self.tc_flush_evict = 0
+        self.tc_flush_timeout = 0
         self.tc_flush_final = 0
         self.tgc_flush_full = 0
         self.tgc_flush_evict = 0
@@ -97,7 +115,8 @@ class PipelineStats:
         return max(self.units.values(), key=lambda u: u.busy_cycles).name
 
     def tc_flushes(self):
-        return self.tc_flush_full + self.tc_flush_evict + self.tc_flush_final
+        return (self.tc_flush_full + self.tc_flush_evict
+                + self.tc_flush_timeout + self.tc_flush_final)
 
     def summary(self):
         """Human-readable multi-line report."""
@@ -117,7 +136,9 @@ class PipelineStats:
             f"blended={self.fragments_blended:,}")
         lines.append(
             f"  tc flushes: full={self.tc_flush_full:,} "
-            f"evict={self.tc_flush_evict:,} final={self.tc_flush_final:,}; "
+            f"evict={self.tc_flush_evict:,} "
+            f"timeout={self.tc_flush_timeout:,} "
+            f"final={self.tc_flush_final:,}; "
             f"warps={self.warps_launched:,}")
         lines.append(
             f"  crop cache: hits={self.crop_cache_hits:,} "

@@ -153,3 +153,106 @@ class TileCoalescer:
     @property
     def occupancy(self):
         return len(self._bins)
+
+
+class RangeTileCoalescer:
+    """Range-level TC flush *planner* with :class:`TileCoalescer` dynamics.
+
+    The pipeline always feeds the TC unit contiguous quad-table row ranges
+    — every (primitive, tile) group is a slice ``[start, end)`` of the
+    draw's row space, and bin overflow only ever splits a range into
+    subranges — so the entire flush schedule can be computed without
+    materialising a single row array.  Bins hold ``(start, end)`` pairs,
+    and each flush appends its ranges to flat segment arrays from which
+    :class:`~repro.hwmodel.flushplan.FlushPlan` later expands the row
+    stream in one vectorised pass.
+
+    Feeding the same group sequence to :class:`TileCoalescer` produces the
+    identical flush sequence (tile, cause, and quad rows); the golden
+    flush-engine tests enforce this equivalence on every variant.
+    """
+
+    def __init__(self, n_bins=32, bin_capacity=128, timeout_quads=None):
+        if n_bins <= 0 or bin_capacity <= 0:
+            raise ValueError("n_bins and bin_capacity must be positive")
+        if timeout_quads is not None and timeout_quads <= 0:
+            raise ValueError("timeout_quads must be positive or None")
+        self.n_bins = int(n_bins)
+        self.bin_capacity = int(bin_capacity)
+        self.timeout_quads = timeout_quads
+        # tile_id -> [count, last_arrival, seg_starts, seg_ends]
+        self._bins = OrderedDict()
+        self._clock = 0
+        self.flush_counts = {
+            TileCoalescer.FLUSH_FULL: 0, TileCoalescer.FLUSH_EVICT: 0,
+            TileCoalescer.FLUSH_TIMEOUT: 0, TileCoalescer.FLUSH_FINAL: 0,
+        }
+        self.quads_inserted = 0
+        # Flat plan accumulators (one entry per flush / per row segment).
+        self.flush_tile = []
+        self.flush_reason = []
+        self.seg_starts = []
+        self.seg_ends = []
+        self.flush_seg_bounds = [0]
+
+    # ------------------------------------------------------------------
+
+    def _flush(self, tile_id, entry, reason):
+        self.flush_counts[reason] += 1
+        self.flush_tile.append(tile_id)
+        self.flush_reason.append(reason)
+        self.seg_starts.extend(entry[2])
+        self.seg_ends.extend(entry[3])
+        self.flush_seg_bounds.append(len(self.seg_starts))
+
+    def _check_timeouts(self):
+        if self.timeout_quads is None:
+            return
+        expired = [tile for tile, entry in self._bins.items()
+                   if self._clock - entry[1] >= self.timeout_quads]
+        for tile in expired:
+            self._flush(tile, self._bins.pop(tile),
+                        TileCoalescer.FLUSH_TIMEOUT)
+
+    def insert_group(self, tile_id, start, end):
+        """Plan the insertion of one (primitive, tile) group of rows.
+
+        Mirrors :meth:`TileCoalescer.insert` on ``arange(start, end)``:
+        identical bin occupancy, identical flush order and causes.
+        """
+        self._check_timeouts()
+        bins = self._bins
+        capacity = self.bin_capacity
+        offset = 0
+        n = end - start
+        self.quads_inserted += n
+        while offset < n:
+            entry = bins.get(tile_id)
+            if entry is None:
+                if len(bins) >= self.n_bins:
+                    old_tile, old_entry = bins.popitem(last=False)
+                    self._flush(old_tile, old_entry,
+                                TileCoalescer.FLUSH_EVICT)
+                entry = bins[tile_id] = [0, self._clock, [], []]
+            take = min(capacity - entry[0], n - offset)
+            if take > 0:
+                entry[2].append(start + offset)
+                entry[3].append(start + offset + take)
+                entry[0] += take
+                offset += take
+                self._clock += take
+                entry[1] = self._clock
+            if entry[0] >= capacity:
+                del bins[tile_id]
+                self._flush(tile_id, entry, TileCoalescer.FLUSH_FULL)
+        self._check_timeouts()
+
+    def drain(self):
+        """Plan the end-of-draw flush of every residual bin, in age order."""
+        while self._bins:
+            tile_id, entry = self._bins.popitem(last=False)
+            self._flush(tile_id, entry, TileCoalescer.FLUSH_FINAL)
+
+    @property
+    def occupancy(self):
+        return len(self._bins)

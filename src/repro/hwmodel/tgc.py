@@ -81,6 +81,20 @@ class TileGridCoalescer:
         for grid_id, prim in zip(grid_ids, prim_rows):
             yield from self.insert(int(grid_id), int(prim))
 
+    def plan_groups(self, grid_ids, prim_rows):
+        """Full flush-group schedule for a (grid, primitive) sequence.
+
+        Runs :meth:`insert_pairs` over the whole occurrence stream and
+        then :meth:`drain`, returning every flushed ``(grid_id,
+        prim_rows, reason)`` group in exact flush order.  This is the TGC
+        half of the batched flush planner: since TGC flushes only *append*
+        to the downstream TC insertion sequence, planning them up front is
+        sequence-equivalent to the interleaved scalar loop.
+        """
+        groups = list(self.insert_pairs(grid_ids, prim_rows))
+        groups.extend(self.drain())
+        return groups
+
     def drain(self):
         """Flush all residual bins in age order (end of the draw call)."""
         flushed = []

@@ -50,6 +50,26 @@ class DrawTrace:
             len(self.events), int(tile_id), str(reason), int(n_quads),
             int(n_survivors), int(n_pairs), int(n_crop_quads)))
 
+    def record_flushes(self, tile_ids, reasons, n_quads, n_survivors,
+                       n_pairs, n_crop_quads):
+        """Append one event per flush from parallel arrays.
+
+        Used by the batched flush engine to emit a whole draw's events in
+        one call; the resulting event list is identical to per-flush
+        :meth:`record_flush` calls in the same order.
+        """
+        def as_list(values):
+            return values.tolist() if hasattr(values, "tolist") else list(values)
+
+        append = self.events.append
+        base = len(self.events)
+        rows = zip(as_list(tile_ids), as_list(reasons), as_list(n_quads),
+                   as_list(n_survivors), as_list(n_pairs),
+                   as_list(n_crop_quads))
+        for offset, (tile, reason, nq, ns, npairs, ncrop) in enumerate(rows):
+            append(FlushEvent(base + offset, int(tile), str(reason), int(nq),
+                              int(ns), int(npairs), int(ncrop)))
+
     def __len__(self):
         return len(self.events)
 

@@ -26,6 +26,24 @@ def warps_for_quads(n_quads):
     return ceil_div(n_quads, QUADS_PER_WARP)
 
 
+def as_index_array(values, dtype=np.int64):
+    """Normalise an iterable of indices/tags to a 1-D integer array.
+
+    Accepts arrays, lists, tuples and one-shot generators alike; the ROP
+    units use it so documented ``Iterable`` parameters never hit
+    ``len()``/``np.asarray`` pitfalls (a generator reaches ``np.asarray``
+    as a 0-d object scalar and ``len()`` raises).
+    """
+    if isinstance(values, np.ndarray):
+        if values.ndim != 1:
+            raise ValueError(
+                f"expected a 1-D index array, got shape {values.shape}")
+        return values
+    if not hasattr(values, "__len__"):
+        values = list(values)
+    return np.asarray(values, dtype=dtype).reshape(len(values))
+
+
 def popcount4(masks):
     """Population count of 4-bit coverage masks (vectorised)."""
     masks = np.asarray(masks)

@@ -17,9 +17,12 @@ fragment-granular test; this unit accounts the work and the z-cache traffic.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
 from repro.hwmodel.caches import LRUCache
+from repro.hwmodel.units import as_index_array
 
 
 class ZropUnit:
@@ -64,15 +67,105 @@ class ZropUnit:
         return survivors
 
     def termination_updates(self, n_updates, pixel_tags=()):
-        """Account ``n_updates`` termination-bit RMWs signalled by the CROP."""
+        """Account ``n_updates`` termination-bit RMWs signalled by the CROP.
+
+        ``pixel_tags`` may be any iterable of z-cache line tags (including
+        a one-shot generator); it is normalised to an index array before
+        any length/traffic accounting.
+        """
         if n_updates < 0:
             raise ValueError("n_updates must be >= 0")
+        pixel_tags = as_index_array(pixel_tags)
         unit = self.stats.units["zrop"]
         unit.add(n_updates, n_updates * self.config.term_update_cycles)
         self.stats.termination_updates += int(n_updates)
-        if len(pixel_tags):
+        if pixel_tags.size:
             misses = self.zcache.access_many(pixel_tags, write=True)
             self._account_misses(misses)
+
+    def termination_test_plan(self, flush_tiles, n_flushed, n_survivors,
+                              width):
+        """Batched accounting for a whole draw's per-flush termination tests.
+
+        Mirrors one :meth:`termination_test` call per flush: unit
+        throughput and test/discard counters accumulate sequentially, and
+        the z-cache's stencil-line traffic is replayed exactly.  A tile's
+        stencil footprint is ``screen_tile_px`` lines determined by the
+        tile alone, and the line sets of distinct (tile-row, line-column)
+        groups are disjoint — so when the cache holds a whole number of
+        such groups and starts empty, the line stream collapses to a
+        group-granular LRU (one step per flush instead of 16 line
+        accesses), after which the real z-cache is primed with the final
+        resident groups so the end-of-draw termination updates see the
+        exact state.  Otherwise the full line stream is replayed through
+        the cache directly.
+
+        Returns the per-flush z-cache miss counts.  DRAM traffic is *not*
+        accounted here: the caller interleaves it with the CROP stream to
+        preserve the scalar accumulation order.
+        """
+        flush_tiles = np.asarray(flush_tiles, dtype=np.int64)
+        n_flushed = np.asarray(n_flushed, dtype=np.int64)
+        n_survivors = np.asarray(n_survivors, dtype=np.int64)
+        n_total = int(n_flushed.sum())
+        unit = self.stats.units["zrop"]
+        unit.add_sequence(n_total,
+                          n_flushed / self.config.zrop_quads_per_cycle)
+        self.stats.zrop_tests += n_total
+        self.stats.quads_discarded_zrop += int(
+            (n_flushed - n_survivors).sum())
+
+        n_flushes = flush_tiles.shape[0]
+        if n_flushes == 0:
+            return np.zeros(0, dtype=np.int64)
+        tile_px = self.config.screen_tile_px
+        line_bytes = self.config.cache_line_bytes
+        tiles_x = -(-width // tile_px)
+        bytes_per_row = width * self._stencil_bytes_per_pixel
+        lines_per_row = max(1, -(-bytes_per_row // line_bytes))
+        ty, tx = np.divmod(flush_tiles, tiles_x)
+        line_in_row = (tx * tile_px * self._stencil_bytes_per_pixel
+                       // line_bytes)
+        # First line tag of each flush's group; tags are unique per
+        # (tile-row, line-column) group and groups are disjoint.
+        group_key = ty * tile_px * lines_per_row + line_in_row
+
+        zcache = self.zcache
+        if zcache.n_lines % tile_px == 0 and len(zcache) == 0:
+            cap_groups = zcache.n_lines // tile_px
+            resident = OrderedDict()
+            misses = np.zeros(n_flushes, dtype=np.int64)
+            for i, group in enumerate(group_key.tolist()):
+                if group in resident:
+                    resident.move_to_end(group)
+                else:
+                    if len(resident) >= cap_groups:
+                        resident.popitem(last=False)
+                    resident[group] = True
+                    misses[i] = tile_px
+            # Prime the real cache with the final resident groups (clean
+            # read accesses, oldest group first, row-ascending lines) so
+            # the termination-update replay starts from the exact state.
+            for group in resident:
+                for r in range(tile_px):
+                    zcache.access_line(group + r * lines_per_row,
+                                       write=False)
+            # Square the cache's own counters with the full line-level
+            # replay the scalar engine performs: priming counted only the
+            # resident lines as misses (no hits, no evictions — the cache
+            # started empty and the residents fit by construction).
+            total_accesses = n_flushes * tile_px
+            total_misses = int(misses.sum())
+            primed = len(resident) * tile_px
+            zcache.hits += total_accesses - total_misses
+            zcache.misses += total_misses - primed
+            zcache.evictions += total_misses - primed
+            return misses
+        # General fallback: replay the full per-flush line stream.
+        tags = (group_key[:, None]
+                + np.arange(tile_px, dtype=np.int64)[None, :] * lines_per_row)
+        splits = np.arange(n_flushes + 1, dtype=np.int64) * tile_px
+        return zcache.access_segmented(tags.reshape(-1), splits, write=False)
 
     # ------------------------------------------------------------------
 

@@ -16,14 +16,19 @@ from repro.hwmodel.pipeline import GraphicsPipeline
 from repro.micro.workload import rect_stream
 
 
-def tile_binning_probe(n_tiles, rounds=10, config=None, tile_px=16):
+def tile_binning_probe(n_tiles, rounds=10, config=None, tile_px=16,
+                       timeout_quads=None):
     """Warps launched when drawing ``n_tiles * rounds`` tiny rectangles.
 
     Rectangles are 2x2 px at the origin corner of each tile, visiting tiles
     0..n_tiles-1 repeatedly (``rounds`` times), matching the paper's
-    experiment layout.
+    experiment layout.  ``timeout_quads`` optionally enables the TC idle-
+    flush rule; the resulting timeout flushes are reported separately as
+    ``tc_timeouts`` (they are *not* folded into the end-of-draw flushes).
     """
     config = config or GPUConfig()
+    if timeout_quads is not None:
+        config = config.variant(tc_timeout_quads=timeout_quads)
     if n_tiles <= 0 or rounds <= 0:
         raise ValueError("n_tiles and rounds must be positive")
     # Arrange the target tiles on a wide-enough framebuffer.
@@ -43,6 +48,7 @@ def tile_binning_probe(n_tiles, rounds=10, config=None, tile_px=16):
         "rects": len(rects),
         "warps": result.stats.warps_launched,
         "tc_evictions": result.stats.tc_flush_evict,
+        "tc_timeouts": result.stats.tc_flush_timeout,
     }
 
 

@@ -14,7 +14,9 @@ times the hot path with :func:`repro.perf.timer.time_callable`.  Suites:
     Full reference frame: preprocess + rasterise + blend.
 ``hw``
     Hardware-model digestion (``DrawWorkload.from_stream``) and simulated
-    draws for the baseline and het+qm variants.
+    draws under the batched flush-plan engine against the retained scalar
+    per-flush path, per variant — with their cycle/stat equality
+    re-verified inside the run.
 ``trajectory``
     Multi-frame orbit through the engine's ``RenderSession``.
 
@@ -143,12 +145,26 @@ def _suite_reference(quick, scene=None, repeat=None):
     })]
 
 
+def _assert_draws_identical(a, b):
+    """Engine honesty check: batched and scalar must agree bit-for-bit."""
+    same = (a.stats.total_cycles == b.stats.total_cycles
+            and all(a.stats.units[u].busy_cycles == b.stats.units[u].busy_cycles
+                    and a.stats.units[u].items == b.stats.units[u].items
+                    for u in a.stats.units))
+    if not same:
+        raise AssertionError(
+            "batched and scalar flush engines diverged; the benchmark "
+            "would be comparing different work")
+
+
 def _suite_hw(quick, scene=None, repeat=None):
     from repro.core.vrpipe import variant_config
     from repro.hwmodel.pipeline import DrawWorkload, GraphicsPipeline
 
     scene = scene or ("lego" if quick else "train")
     repeat = repeat or (1 if quick else 3)
+    variants = ("baseline", "het+qm") if quick else ("baseline", "qm",
+                                                     "het", "het+qm")
     _, camera, pre = _splats_for(scene)
     stream = rasterize_splats(pre.splats, camera.width, camera.height)
     n = len(stream)
@@ -160,16 +176,30 @@ def _suite_hw(quick, scene=None, repeat=None):
                            name="hw/digest")
     results.append(BenchResult(digest, scene, {
         "fragments": n, "fragments_per_sec": digest.per_second(n)}))
-    for variant in ("baseline", "het+qm"):
+    for variant in variants:
         cfg = variant_config(variant)
         workload = DrawWorkload.from_stream(stream, cfg)
-        timing = time_callable(
-            lambda c=cfg, wl=workload: GraphicsPipeline(c).draw(wl),
+        pipe = GraphicsPipeline(cfg)
+        _assert_draws_identical(pipe.draw(workload, engine="batched"),
+                                pipe.draw(workload, engine="scalar"))
+        batched = time_callable(
+            lambda p=pipe, wl=workload: p.draw(wl, engine="batched"),
             warmup=0 if quick else 1, repeat=repeat,
             name=f"hw/draw:{variant}")
-        results.append(BenchResult(timing, scene, {
+        scalar = time_callable(
+            lambda p=pipe, wl=workload: p.draw(wl, engine="scalar"),
+            warmup=0 if quick else 1, repeat=repeat,
+            name=f"hw/draw:{variant}:scalar")
+        speedup = (scalar.median_s / batched.median_s
+                   if batched.median_s > 0 else float("inf"))
+        results.append(BenchResult(batched, scene, {
             "fragments": n,
-            "fragments_per_sec": timing.per_second(n),
+            "fragments_per_sec": batched.per_second(n),
+            "speedup_vs_scalar": speedup,
+        }))
+        results.append(BenchResult(scalar, scene, {
+            "fragments": n,
+            "fragments_per_sec": scalar.per_second(n),
         }))
     return results
 

@@ -230,6 +230,30 @@ class FragmentStream:
     # Images and per-pixel statistics
     # ------------------------------------------------------------------
 
+    def _blend_weights(self, early_term, threshold):
+        """Per-fragment colour/alpha blend weights of a front-to-back pass."""
+        blended = self.et_survivor_mask(threshold) if early_term else self.unpruned
+        transmittance = 1.0 - self.arrival_alpha
+        weights = transmittance * self.alphas.astype(np.float64)
+        return np.where(blended, weights, 0.0)
+
+    @property
+    def accumulated_alpha(self):
+        """Final accumulated alpha per pixel, flat ``(n_pixels,)``.
+
+        Bit-identical to the (flattened) alpha map of
+        ``blend_image(early_term=False)`` — the blend weights telescope to
+        the pixel's final accumulated alpha — but skips the colour pass
+        entirely and is cached, so consumers that only need termination
+        state (e.g. :meth:`~repro.hwmodel.pipeline.DrawWorkload.
+        from_stream`) never pay for a full re-blend.
+        """
+        if "accumulated_alpha" not in self._cache:
+            weights = self._blend_weights(False, DEFAULT_TERMINATION_ALPHA)
+            self._cache["accumulated_alpha"] = np.bincount(
+                self.pixel_ids, weights=weights, minlength=self.n_pixels)
+        return self._cache["accumulated_alpha"]
+
     def blend_image(self, early_term=False, threshold=DEFAULT_TERMINATION_ALPHA):
         """Front-to-back blend to an image.
 
@@ -238,10 +262,7 @@ class FragmentStream:
         once a pixel's accumulated alpha reaches ``threshold`` (identical to
         the reference otherwise).
         """
-        blended = self.et_survivor_mask(threshold) if early_term else self.unpruned
-        transmittance = 1.0 - self.arrival_alpha
-        weights = transmittance * self.alphas.astype(np.float64)
-        weights = np.where(blended, weights, 0.0)
+        weights = self._blend_weights(early_term, threshold)
         pix = self.pixel_ids
         colors = self.prim_colors[self.prim_ids]
         # One interleaved bincount over an (n, 3) contribution array instead
@@ -253,7 +274,16 @@ class FragmentStream:
         image = np.bincount(
             keys.ravel(), weights=contrib.ravel(),
             minlength=self.n_pixels * 3).reshape(self.n_pixels, 3)
-        alpha_map = np.bincount(pix, weights=weights, minlength=self.n_pixels)
+        if early_term:
+            alpha_map = np.bincount(pix, weights=weights,
+                                    minlength=self.n_pixels)
+        else:
+            # Seed the cache from the weights already in hand rather than
+            # recomputing them inside the property.
+            if "accumulated_alpha" not in self._cache:
+                self._cache["accumulated_alpha"] = np.bincount(
+                    pix, weights=weights, minlength=self.n_pixels)
+            alpha_map = self.accumulated_alpha.copy()
         return (image.reshape(self.height, self.width, 3),
                 alpha_map.reshape(self.height, self.width))
 

@@ -210,6 +210,55 @@ class TestTCBatchInsert:
         assert tc.quads_inserted == 2
 
 
+class TestRangePlanner:
+    """RangeTileCoalescer must plan TileCoalescer's exact flush schedule."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("timeout", [None, 50])
+    def test_plan_matches_flushes(self, seed, timeout):
+        from repro.hwmodel.tc import RangeTileCoalescer
+
+        rng = np.random.default_rng(seed)
+        n_groups = 150
+        lengths = rng.integers(1, 40, n_groups)
+        ends = np.cumsum(lengths)
+        starts = ends - lengths
+        tiles = rng.integers(0, 10, n_groups)
+        rows = np.arange(ends[-1], dtype=np.int64)
+
+        ref = TileCoalescer(n_bins=4, bin_capacity=16, timeout_quads=timeout)
+        expected = list(ref.insert_groups(tiles, starts, ends, rows))
+        expected.extend(ref.drain())
+
+        planner = RangeTileCoalescer(n_bins=4, bin_capacity=16,
+                                     timeout_quads=timeout)
+        for tile, s, e in zip(tiles.tolist(), starts.tolist(), ends.tolist()):
+            planner.insert_group(tile, s, e)
+        planner.drain()
+
+        assert planner.flush_tile == [b.tile_id for b in expected]
+        assert planner.flush_reason == [b.reason for b in expected]
+        assert planner.flush_counts == ref.flush_counts
+        assert planner.quads_inserted == ref.quads_inserted
+        # Expand the planned row segments and compare flush-for-flush.
+        seg_starts = np.asarray(planner.seg_starts)
+        seg_ends = np.asarray(planner.seg_ends)
+        bounds = planner.flush_seg_bounds
+        for i, batch in enumerate(expected):
+            segs = zip(seg_starts[bounds[i]:bounds[i + 1]],
+                       seg_ends[bounds[i]:bounds[i + 1]])
+            planned = [r for s, e in segs for r in range(s, e)]
+            assert planned == batch.quad_rows.tolist()
+
+    def test_rejects_bad_parameters(self):
+        from repro.hwmodel.tc import RangeTileCoalescer
+
+        with pytest.raises(ValueError):
+            RangeTileCoalescer(n_bins=0)
+        with pytest.raises(ValueError):
+            RangeTileCoalescer(timeout_quads=0)
+
+
 class TestTGCBatchInsert:
     @pytest.mark.parametrize("seed", [0, 7])
     def test_matches_sequential(self, seed):

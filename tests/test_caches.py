@@ -1,5 +1,6 @@
 """LRU cache model."""
 
+import numpy as np
 import pytest
 
 from repro.hwmodel.caches import LRUCache
@@ -64,3 +65,34 @@ class TestLRUCache:
             LRUCache(0, 128)
         with pytest.raises(ValueError):
             LRUCache(64, 128)
+
+    def test_access_segmented_matches_access_many(self):
+        """One segmented replay == per-segment access_many calls exactly:
+        per-segment misses, counters, and final LRU state."""
+        rng = np.random.default_rng(3)
+        tags = rng.integers(0, 40, size=500)
+        splits = np.sort(rng.choice(np.arange(1, 500), size=19,
+                                    replace=False))
+        splits = np.concatenate(([0], splits, [500]))
+        seg_cache = LRUCache(16 * 128, 128)
+        ref_cache = LRUCache(16 * 128, 128)
+        seg_misses = seg_cache.access_segmented(tags, splits, write=True)
+        ref_misses = [ref_cache.access_many(tags[s:e], write=True)
+                      for s, e in zip(splits[:-1], splits[1:])]
+        assert seg_misses.tolist() == ref_misses
+        for counter in ("hits", "misses", "evictions", "writebacks"):
+            assert getattr(seg_cache, counter) == getattr(ref_cache, counter)
+        assert list(seg_cache._lines.items()) == list(ref_cache._lines.items())
+
+    def test_access_segmented_empty_segments(self):
+        cache = LRUCache(4 * 128, 128)
+        misses = cache.access_segmented(
+            np.asarray([5, 5]), np.asarray([0, 0, 2, 2]))
+        assert misses.tolist() == [0, 1, 0]
+
+    def test_access_segmented_rejects_bad_splits(self):
+        cache = LRUCache(4 * 128, 128)
+        with pytest.raises(ValueError):
+            cache.access_segmented(np.asarray([1, 2]), np.asarray([0, 1]))
+        with pytest.raises(ValueError):
+            cache.access_segmented(np.asarray([1, 2]), np.asarray([0, 2, 1]))

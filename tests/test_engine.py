@@ -49,6 +49,55 @@ class TestRegistry:
         assert frame.image.shape == (profile.height, profile.width, 3)
 
 
+class TestBackendInstances:
+    def test_session_accepts_backend_instance_with_auto_baseline(self):
+        """A ready backend instance works wherever a spec string does;
+        baseline='auto' must resolve from the instance's spec instead of
+        crashing on ``str`` methods (the old AttributeError)."""
+        instance = create_backend("hw:het+qm")
+        session = RenderSession("lego", backend=instance, baseline="auto")
+        assert session.backend is instance
+        assert session.backend_spec == "hw:het+qm"
+        assert session.baseline_spec == "hw:baseline"
+        result = session.run(n_views=1)
+        assert result.records[0].speedup > 1.0
+
+    def test_session_instance_baseline(self):
+        baseline = create_backend("hw:baseline")
+        session = RenderSession("lego", backend="hw:het",
+                                baseline=baseline)
+        assert session.baseline is baseline
+        assert session.baseline_spec == "hw:baseline"
+
+    def test_auto_baseline_none_for_non_hw_instance(self):
+        instance = create_backend("cuda+et")
+        session = RenderSession("lego", backend=instance, baseline="auto")
+        assert session.baseline is None
+
+    def test_resolve_rejects_speclike_garbage(self):
+        from repro.engine.backends import resolve_backend
+        with pytest.raises(TypeError, match="spec"):
+            resolve_backend(object())
+
+    def test_instance_backend_bypasses_result_cache(self, tmp_path):
+        """Cache keys describe registry-built backends only; a passed
+        instance (whose config could differ) must never be served a
+        spec-keyed cache hit, nor populate one."""
+        cache = ResultCache(tmp_path)
+        spec_session = RenderSession("lego", backend="hw:het", baseline=None,
+                                     result_cache=cache)
+        spec_session.run(n_views=1)
+        instance = create_backend("hw:het", device_name="rtx3090")
+        inst_session = RenderSession("lego", backend=instance, baseline=None,
+                                     result_cache=cache)
+        result = inst_session.run(n_views=1)
+        assert not result.from_cache
+        # And the string-spec path still hits.
+        again = RenderSession("lego", backend="hw:het", baseline=None,
+                              result_cache=cache).run(n_views=1)
+        assert again.from_cache
+
+
 class TestSingleFrame:
     def test_bit_identical_to_hardware_renderer(self):
         """RenderSession frame == direct HardwareRenderer.render output."""

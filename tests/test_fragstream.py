@@ -91,6 +91,29 @@ class TestTerminationMasks:
         assert low <= high
 
 
+class TestAccumulatedAlpha:
+    def test_bit_identical_to_blend_image(self, deep_stream):
+        """The cached alpha map must equal a full blend's, bit for bit —
+        DrawWorkload.from_stream derives termination state from it."""
+        _, alpha_map = deep_stream.blend_image(early_term=False)
+        flat = deep_stream.accumulated_alpha
+        assert np.array_equal(flat.view(np.uint64),
+                              alpha_map.reshape(-1).view(np.uint64))
+
+    def test_cached_across_calls(self, small_stream):
+        assert small_stream.accumulated_alpha is small_stream.accumulated_alpha
+
+    def test_blend_image_does_not_alias_cache(self, small_stream):
+        _, alpha_map = small_stream.blend_image(early_term=False)
+        alpha_map[:] = -1.0
+        assert small_stream.accumulated_alpha.min() >= 0.0
+
+    def test_empty_stream(self):
+        stream = make_stream([])
+        assert stream.accumulated_alpha.shape == (64,)
+        assert stream.accumulated_alpha.sum() == 0.0
+
+
 class TestBlendImage:
     def test_single_fragment(self):
         s = make_stream([(0, 2, 3, 0.5)])

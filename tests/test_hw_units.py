@@ -140,6 +140,17 @@ class TestCropUnit:
         crop.finish_draw()
         assert stats.dram_bytes > before
 
+    def test_blend_batch_accepts_generator(self, cfg):
+        """The documented Iterable contract: a one-shot generator must not
+        crash on len() and must account exactly like a list."""
+        stats_gen, stats_list = PipelineStats(), PipelineStats()
+        CropUnit(cfg, stats_gen).blend_batch(
+            2, 8, (tag for tag in (0, 1, 2)))
+        CropUnit(cfg, stats_list).blend_batch(2, 8, [0, 1, 2])
+        assert stats_gen.crop_cache_misses == stats_list.crop_cache_misses == 3
+        assert (stats_gen.units["crop"].busy_cycles
+                == stats_list.units["crop"].busy_cycles)
+
 
 class TestZropUnit:
     def test_termination_test(self, cfg, stats):
@@ -160,3 +171,48 @@ class TestZropUnit:
     def test_rejects_negative_updates(self, cfg, stats):
         with pytest.raises(ValueError):
             ZropUnit(cfg, stats).termination_updates(-1)
+
+    def test_updates_accept_generator_tags(self, cfg):
+        stats_gen, stats_list = PipelineStats(), PipelineStats()
+        ZropUnit(cfg, stats_gen).termination_updates(
+            3, (tag for tag in (4, 5)))
+        ZropUnit(cfg, stats_list).termination_updates(3, [4, 5])
+        assert stats_gen.dram_bytes == stats_list.dram_bytes > 0
+        assert (stats_gen.units["zrop"].busy_cycles
+                == stats_list.units["zrop"].busy_cycles)
+
+    def test_updates_empty_generator_no_traffic(self, cfg, stats):
+        ZropUnit(cfg, stats).termination_updates(0, (t for t in ()))
+        assert stats.dram_bytes == 0
+
+    @pytest.mark.parametrize("width", [64, 250])
+    def test_plan_replay_matches_per_flush_tests(self, cfg, width):
+        """The group-granular fast path must leave the z-cache with the
+        same counters and line state as per-flush termination_test calls
+        — per-flush miss counts included."""
+        stats_plan, stats_seq = PipelineStats(), PipelineStats()
+        plan_unit = ZropUnit(cfg, stats_plan)
+        seq_unit = ZropUnit(cfg, stats_seq)
+        assert plan_unit.zcache.n_lines % cfg.screen_tile_px == 0
+        # Enough distinct tile rows to overflow the 8-group capacity,
+        # plus revisits for hits.
+        tiles = list(range(0, 44, 4)) + [0, 20, 40, 0]
+        n = np.full(len(tiles), 4, dtype=np.int64)
+        plan_misses = plan_unit.termination_test_plan(
+            np.asarray(tiles), n, n, width)
+        seq_misses = []
+        for tile in tiles:
+            before = seq_unit.zcache.misses
+            seq_unit.termination_test(np.ones(4, dtype=np.int64), tile,
+                                      width)
+            seq_misses.append(seq_unit.zcache.misses - before)
+        assert plan_misses.tolist() == seq_misses
+        for counter in ("hits", "misses", "evictions", "writebacks"):
+            assert (getattr(plan_unit.zcache, counter)
+                    == getattr(seq_unit.zcache, counter)), counter
+        assert (list(plan_unit.zcache._lines.items())
+                == list(seq_unit.zcache._lines.items()))
+        for unit_stats in (stats_plan, stats_seq):
+            assert unit_stats.zrop_tests == 4 * len(tiles)
+        assert (stats_plan.units["zrop"].busy_cycles
+                == stats_seq.units["zrop"].busy_cycles)

@@ -92,6 +92,17 @@ class TestTileBinning:
     def test_no_evictions_below_cliff(self):
         assert tile_binning_probe(16, rounds=5)["tc_evictions"] == 0
 
+    def test_timeout_flushes_reported_separately(self):
+        """Idle-flush regression: with the timeout rule on, the round-robin
+        probe's bins flush by timeout — and those flushes must surface in
+        the dedicated stat instead of being folded into the final count."""
+        without = tile_binning_probe(8, rounds=6)
+        with_timeout = tile_binning_probe(8, rounds=6, timeout_quads=4)
+        assert without["tc_timeouts"] == 0
+        assert with_timeout["tc_timeouts"] > 0
+        # Every bin flushed idle before the end of the draw.
+        assert with_timeout["warps"] >= without["warps"]
+
     def test_rejects_bad_args(self):
         with pytest.raises(ValueError):
             tile_binning_probe(0)

@@ -10,7 +10,11 @@ from repro.core.quad_merge import (
     merge_quad_pair,
     rop_blend_sequence,
 )
-from repro.hwmodel.prop import plan_merges, qru_storage_bytes
+from repro.hwmodel.prop import (
+    plan_merges,
+    plan_merges_segmented,
+    qru_storage_bytes,
+)
 from repro.render.blending import premultiply
 
 
@@ -46,6 +50,38 @@ class TestPlanMerges:
     def test_quads_out(self):
         plan = plan_merges(np.array([0, 0, 1, 2]))
         assert plan.n_quads_out == 3  # one pair + two singles
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_segmented_matches_per_flush(self, seed):
+        """Segmented pairing over many flushes == per-flush plan_merges,
+        including the (position, arrival) pair order and arrival-order
+        singles the CROP tag stream depends on."""
+        rng = np.random.default_rng(seed)
+        seg_lengths = rng.integers(0, 30, size=12)
+        qpos = rng.integers(0, 64, size=int(seg_lengths.sum()))
+        segment_ids = np.repeat(np.arange(12), seg_lengths)
+        seg = plan_merges_segmented(segment_ids, qpos, 12)
+        offset = 0
+        firsts, seconds, singles = [], [], []
+        for length in seg_lengths:
+            plan = plan_merges(qpos[offset:offset + length])
+            firsts.extend((plan.first + offset).tolist())
+            seconds.extend((plan.second + offset).tolist())
+            singles.extend((plan.singles + offset).tolist())
+            offset += length
+        assert seg.first.tolist() == firsts
+        assert seg.second.tolist() == seconds
+        assert seg.singles.tolist() == singles
+        assert int(seg.pairs_per_segment.sum()) == len(firsts)
+
+    def test_segmented_empty(self):
+        seg = plan_merges_segmented(np.empty(0, int), np.empty(0, int), 3)
+        assert seg.n_pairs == 0
+        assert seg.pairs_per_segment.tolist() == [0, 0, 0]
+
+    def test_segmented_rejects_out_of_range_qpos(self):
+        with pytest.raises(ValueError):
+            plan_merges_segmented(np.zeros(2, int), np.array([0, 64]), 1)
 
     def test_qru_storage_matches_table3(self):
         assert qru_storage_bytes() == 688
