@@ -26,7 +26,12 @@ from repro.engine.session import RenderSession
 from repro.experiments.runner import format_table
 from repro.gaussians.preprocess import preprocess
 from repro.hwmodel.report import compare_variants, draw_report
-from repro.perf.report import load_report, suite_report, write_report
+from repro.perf.report import (
+    check_report,
+    load_report,
+    suite_report,
+    write_report,
+)
 from repro.perf.suite import SUITES, run_suite
 from repro.render.image_io import write_ppm
 from repro.render.splat_raster import rasterize_splats
@@ -106,7 +111,8 @@ def cmd_trajectory(args):
         args.scene, backend=args.backend, baseline=baseline,
         device=args.device, seed=args.seed,
         warm_crop_cache=args.warm_crop_cache, result_cache=cache)
-    trajectory = session.run(n_views=args.views, jobs=args.jobs)
+    trajectory = session.run(n_views=args.views, jobs=args.jobs,
+                             raster_jobs=args.raster_jobs)
 
     rows = []
     for rec in trajectory.records:
@@ -140,6 +146,7 @@ def cmd_bench(args):
             "writes its own BENCH_<suite>.json, so drop --out or pick one "
             "suite")
     baseline = load_report(args.baseline) if args.baseline else None
+    failures = 0
     for name in suites:
         run = run_suite(name, quick=args.quick, scene=args.scene,
                         repeat=args.repeat)
@@ -161,10 +168,33 @@ def cmd_bench(args):
         for bench, speedup in sorted(comparison.items()):
             print(f"  vs baseline {bench}: {speedup:.2f}x")
         out = args.out or f"BENCH_{name}.json"
-        write_report(report, out)
-        print(f"wrote {out}")
+        if args.check:
+            # Advisory regression tripwire: compare against the checked-in
+            # report instead of overwriting it.
+            try:
+                reference = load_report(out)
+            except OSError as exc:
+                raise SystemExit(
+                    f"--check needs an existing reference report: {exc}")
+            if bool(reference.get("quick")) != args.quick:
+                raise SystemExit(
+                    f"{out} was recorded with quick={reference.get('quick')}"
+                    f"; rerun --check with matching sizing (quick medians "
+                    "and full medians are different workloads)")
+            regressions = check_report(report, reference,
+                                       tolerance=args.check_tolerance)
+            if regressions:
+                failures += len(regressions)
+                for bench, ratio in regressions:
+                    print(f"  REGRESSION {bench}: {ratio:.2f}x slower than "
+                          f"{out}")
+            else:
+                print(f"  within {args.check_tolerance:.0%} of {out}")
+        else:
+            write_report(report, out)
+            print(f"wrote {out}")
         print()
-    return 0
+    return 1 if failures else 0
 
 
 def cmd_experiment(args):
@@ -211,6 +241,10 @@ def build_parser():
                             help="number of orbit viewpoints (default 8)")
     trajectory.add_argument("--jobs", type=int, default=1,
                             help="parallel frame workers (default serial)")
+    trajectory.add_argument("--raster-jobs", type=int, default=None,
+                            help="threads for the rasteriser's fragment "
+                                 "blocks inside each frame (bit-identical "
+                                 "streams; orthogonal to --jobs)")
     trajectory.add_argument("--seed", type=int, default=0)
     trajectory.add_argument("--device", default="orin",
                             choices=("orin", "rtx3090"))
@@ -239,6 +273,14 @@ def build_parser():
                        help="earlier BENCH_*.json to compute speedups against")
     bench.add_argument("--out", default=None,
                        help="output JSON path (default BENCH_<suite>.json)")
+    bench.add_argument("--check", action="store_true",
+                       help="compare fresh medians against the checked-in "
+                            "BENCH_<suite>.json instead of overwriting it; "
+                            "exit non-zero on large regressions (advisory "
+                            "tripwire, not a hard gate)")
+    bench.add_argument("--check-tolerance", type=float, default=0.5,
+                       help="allowed slowdown before --check fails "
+                            "(default 0.5 = 50%%)")
 
     experiment = sub.add_parser(
         "experiment", help="regenerate a paper table/figure")

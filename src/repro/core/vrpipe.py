@@ -20,13 +20,15 @@ breakdown.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.gaussians.camera import Camera
 from repro.gaussians.gaussian import GaussianCloud
 from repro.gaussians.preprocess import preprocess
 from repro.hwmodel.config import GPUConfig, jetson_agx_orin
-from repro.hwmodel.pipeline import GraphicsPipeline
+from repro.hwmodel.pipeline import DrawWorkload, GraphicsPipeline
 from repro.hwmodel.prop import qru_storage_bytes
 from repro.hwmodel.tgc import TileGridCoalescer
 from repro.render.splat_raster import rasterize_splats
@@ -91,17 +93,44 @@ def hardware_cost_bytes(config=None):
 
 
 class HWRenderResult:
-    """Output of :class:`HardwareRenderer.render`."""
+    """Output of :class:`HardwareRenderer.render`.
 
-    def __init__(self, image, alpha, draw_result, preprocess_cycles,
-                 sort_cycles, stream, pre):
-        self.image = image
-        self.alpha = alpha
+    The blended ``image``/``alpha`` maps are materialised lazily on first
+    access: the colour pass contributes nothing to the simulated cycle
+    counts, so trajectory runs that only consume the numeric records
+    (``keep_results=False`` sessions, the benchmark suites) never pay for
+    per-frame blending.  ``wall_ms`` carries the renderer's measured
+    wall-clock stage breakdown (digest / draw), which the trajectory
+    benchmark aggregates into its per-stage report.
+    """
+
+    def __init__(self, draw_result, preprocess_cycles,
+                 sort_cycles, stream, pre, wall_ms=None):
         self.draw = draw_result
         self.preprocess_cycles = float(preprocess_cycles)
         self.sort_cycles = float(sort_cycles)
         self.stream = stream
         self.pre = pre
+        self.wall_ms = dict(wall_ms or {})
+        self._image = None
+        self._alpha = None
+
+    def _blend(self):
+        if self._image is None:
+            config = self.draw.config
+            self._image, self._alpha = self.stream.blend_image(
+                early_term=config.enable_het,
+                threshold=config.termination_alpha)
+
+    @property
+    def image(self):
+        self._blend()
+        return self._image
+
+    @property
+    def alpha(self):
+        self._blend()
+        return self._alpha
 
     @property
     def total_cycles(self):
@@ -175,18 +204,25 @@ class HardwareRenderer:
         return self.render_stream(stream, pre, crop_cache=crop_cache)
 
     def render_stream(self, stream, pre=None, crop_cache=None):
-        """Render an existing fragment stream (skips re-rasterisation)."""
+        """Render an existing fragment stream (skips re-rasterisation).
+
+        The colour blend is deferred (see :class:`HWRenderResult`);
+        accessing ``result.image`` produces exactly the image the eager
+        path built.
+        """
         model = self.kernel_model
         n_gaussians = (pre.n_input if pre is not None
                        else stream.prim_colors.shape[0])
         n_visible = stream.prim_colors.shape[0]
         preprocess_cycles = model.preprocess_cycles(n_gaussians, 0)
         sort_cycles = model.sort_cycles(n_visible)
-        draw = GraphicsPipeline(self.config).draw(stream,
+        t0 = time.perf_counter()
+        workload = DrawWorkload.from_stream(stream, self.config)
+        t1 = time.perf_counter()
+        draw = GraphicsPipeline(self.config).draw(workload,
                                                   crop_cache=crop_cache,
                                                   engine=self.engine)
-        early_term = self.config.enable_het
-        image, alpha = stream.blend_image(
-            early_term=early_term, threshold=self.config.termination_alpha)
-        return HWRenderResult(image, alpha, draw, preprocess_cycles,
-                              sort_cycles, stream, pre)
+        t2 = time.perf_counter()
+        wall_ms = {"digest": (t1 - t0) * 1e3, "draw": (t2 - t1) * 1e3}
+        return HWRenderResult(draw, preprocess_cycles,
+                              sort_cycles, stream, pre, wall_ms=wall_ms)

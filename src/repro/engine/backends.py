@@ -23,7 +23,6 @@ spec            path
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Protocol, runtime_checkable
 
 from repro.core.vrpipe import VARIANTS, HardwareRenderer, variant_config
@@ -57,7 +56,6 @@ def make_cuda_renderer(device_name="orin", early_term=True):
                         early_term=early_term)
 
 
-@dataclass
 class FrameResult:
     """One rendered frame in the engine's common schema.
 
@@ -66,22 +64,47 @@ class FrameResult:
     fragments of the frame (the benchmark harness derives fragments/sec
     from it).  ``kernels`` is the per-kernel millisecond
     breakdown (preprocess / sort / rasterize) when the path models it.
-    ``pipeline_stats`` carries the hardware model's
-    :class:`~repro.hwmodel.stats.PipelineStats` when available, and
-    ``raw`` the backend's native result object.
+    ``wall_ms`` is the backend's *measured* wall-clock stage breakdown
+    (empty when the path doesn't record one).  ``pipeline_stats`` carries
+    the hardware model's :class:`~repro.hwmodel.stats.PipelineStats` when
+    available, and ``raw`` the backend's native result object.
+
+    ``image``/``alpha`` may be deferred: a backend can hand an
+    ``image_source`` (any object with lazy ``image``/``alpha`` attributes,
+    e.g. :class:`~repro.core.vrpipe.HWRenderResult`) instead of eager
+    arrays, and the blend then runs on first property access — sessions
+    that keep only numeric records never trigger it.
     """
 
-    backend: str
-    image: object
-    alpha: object
-    cycles: float | None = None
-    ms: float | None = None
-    fps: float | None = None
-    kernels: dict = field(default_factory=dict)
-    et_ratio: float | None = None
-    n_fragments: int | None = None
-    pipeline_stats: object | None = None
-    raw: object | None = None
+    def __init__(self, backend, image=None, alpha=None, cycles=None,
+                 ms=None, fps=None, kernels=None, et_ratio=None,
+                 n_fragments=None, pipeline_stats=None, raw=None,
+                 wall_ms=None, image_source=None):
+        self.backend = backend
+        self._image = image
+        self._alpha = alpha
+        self._image_source = image_source
+        self.cycles = cycles
+        self.ms = ms
+        self.fps = fps
+        self.kernels = dict(kernels) if kernels else {}
+        self.wall_ms = dict(wall_ms) if wall_ms else {}
+        self.et_ratio = et_ratio
+        self.n_fragments = n_fragments
+        self.pipeline_stats = pipeline_stats
+        self.raw = raw
+
+    @property
+    def image(self):
+        if self._image is None and self._image_source is not None:
+            self._image = self._image_source.image
+        return self._image
+
+    @property
+    def alpha(self):
+        if self._alpha is None and self._image_source is not None:
+            self._alpha = self._image_source.alpha
+        return self._alpha
 
 
 @runtime_checkable
@@ -134,12 +157,12 @@ class HardwareBackend:
     def _wrap(self, res):
         return FrameResult(
             backend=self.spec,
-            image=res.image,
-            alpha=res.alpha,
+            image_source=res,
             cycles=res.total_cycles,
             ms=res.total_ms(),
             fps=res.fps(),
             kernels=res.breakdown_ms(),
+            wall_ms=res.wall_ms,
             et_ratio=res.stream.termination_ratio(
                 self.config.termination_alpha),
             n_fragments=len(res.stream),

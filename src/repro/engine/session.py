@@ -19,6 +19,8 @@ executor and return bit-identical records in either mode.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.engine import cache as engine_cache
@@ -82,10 +84,16 @@ class FrameRecord:
 
 
 class TrajectoryResult:
-    """Per-frame records plus aggregates for one trajectory run."""
+    """Per-frame records plus aggregates for one trajectory run.
+
+    ``stage_ms`` holds the summed wall-clock per-stage breakdown over the
+    run's frames (preprocess / rasterize / digest / draw / ...) when the
+    session collected one (serial runs only — overlapping workers would
+    double-count wall time); empty otherwise.
+    """
 
     def __init__(self, scene, backend, baseline, device, seed, records,
-                 from_cache=False):
+                 from_cache=False, stage_ms=None):
         self.scene = scene
         self.backend = backend
         self.baseline = baseline
@@ -93,6 +101,7 @@ class TrajectoryResult:
         self.seed = int(seed)
         self.records = list(records)
         self.from_cache = bool(from_cache)
+        self.stage_ms = dict(stage_ms or {})
 
     @property
     def n_frames(self):
@@ -245,7 +254,8 @@ class RenderSession:
         cam = camera if camera is not None else self.profile.camera()
         return self.backend.render(self.cloud, cam, crop_cache=crop_cache)
 
-    def run(self, n_views=8, jobs=1, keep_results=False):
+    def run(self, n_views=8, jobs=1, keep_results=False, raster_jobs=None,
+            collect_stages=False):
         """Simulate ``n_views`` frames along the scene's orbit trajectory.
 
         ``keep_results=True`` attaches each frame's full
@@ -253,11 +263,25 @@ class RenderSession:
         renderer output) to its record; the default keeps only the
         numeric summaries, so memory stays flat however long the
         trajectory is.
+
+        ``raster_jobs`` threads the rasteriser's independent fragment
+        blocks inside each frame (bit-identical streams, see
+        :func:`repro.render.splat_raster.rasterize_splats`) — orthogonal
+        to ``jobs``, which fans whole frames out.  ``collect_stages=True``
+        accumulates a wall-clock per-stage breakdown onto the result
+        (serial runs only).
         """
         if n_views <= 0:
             raise ValueError(f"n_views must be positive, got {n_views}")
+        if collect_stages and jobs is not None and jobs > 1:
+            raise ValueError(
+                "collect_stages sums wall-clock per stage and requires "
+                "serial frame execution (jobs=1)")
         key = None
-        if self.result_cache is not None and self._cacheable:
+        # Stage collection measures *this* run's wall clock; a cache hit
+        # would return records with no breakdown, so it bypasses the cache.
+        if (self.result_cache is not None and self._cacheable
+                and not collect_stages):
             key = engine_cache.trajectory_key(
                 self.profile, self.seed, self.backend_spec,
                 self.baseline_spec, self.device_name, n_views,
@@ -285,29 +309,50 @@ class RenderSession:
         ]
         cloud = self.cloud  # build outside the workers, share read-only
 
+        stage_ms = {} if collect_stages else None
+
+        def add_stage(name, t0, t1, frame=None):
+            stage_ms[name] = stage_ms.get(name, 0.0) + (t1 - t0) * 1e3
+            if frame is not None:
+                for sub, ms in frame.wall_ms.items():
+                    key = f"{name}:{sub}"
+                    stage_ms[key] = stage_ms.get(key, 0.0) + ms
+
         def render_one(task):
+            t0 = time.perf_counter()
             pre = preprocess(cloud, task.camera)
+            t1 = time.perf_counter()
             stream = rasterize_splats(pre.splats, task.camera.width,
-                                      task.camera.height)
+                                      task.camera.height, jobs=raster_jobs)
+            t2 = time.perf_counter()
             frame = self.backend.render_stream(stream, pre,
                                                crop_cache=crop_cache)
+            t3 = time.perf_counter()
             record = FrameRecord(
                 index=task.index, backend=self.backend_spec, seed=task.seed,
                 cycles=frame.cycles, ms=frame.ms, fps=frame.fps,
                 et_ratio=frame.et_ratio, kernels=frame.kernels,
                 result=frame if keep_results else None)
+            base = None
             if self.baseline is not None:
                 base = self.baseline.render_stream(stream, pre)
                 record.baseline_cycles = base.cycles
                 if base.cycles and frame.cycles:
                     record.speedup = base.cycles / frame.cycles
+            if stage_ms is not None:
+                t4 = time.perf_counter()
+                add_stage("preprocess", t0, t1)
+                add_stage("rasterize", t1, t2)
+                add_stage("render", t2, t3, frame)
+                if base is not None:
+                    add_stage("baseline", t3, t4, base)
             return record
 
         records = run_frames(render_one, tasks, jobs=jobs)
         result = TrajectoryResult(
             scene=self.profile.name, backend=self.backend_spec,
             baseline=self.baseline_spec, device=self.device_name,
-            seed=self.seed, records=records)
+            seed=self.seed, records=records, stage_ms=stage_ms)
         if key is not None:
             self.result_cache.store(key, result.to_dict())
         return result

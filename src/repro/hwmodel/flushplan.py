@@ -131,30 +131,32 @@ def build_flush_plan(workload, config):
         group_tile = workload.group_tile
         group_starts = workload.group_starts
         group_ends = workload.group_ends
+        group_n_rtiles = workload.group_n_rtiles
+        group_n_quads = workload.group_n_quads
         portions = 0
-        raster_tiles = 0
-        raster_quads = 0
+        selections = []
         for grid_id, prims, _reason in tgc.plan_groups(workload.pair_grid,
                                                        workload.pair_prim):
             sel, n_portions = workload.select_grid_groups(grid_id, prims)
             if not sel.size:
                 continue
             portions += n_portions
-            raster_tiles += int(workload.group_n_rtiles[sel].sum())
-            raster_quads += int(workload.group_n_quads[sel].sum())
-            for tile, s, e in zip(group_tile[sel].tolist(),
-                                  group_starts[sel].tolist(),
-                                  group_ends[sel].tolist()):
-                tc.insert_group(tile, s, e)
+            selections.append(sel)
+        # TGC flushes only append to the TC insertion sequence, so the
+        # whole grid-group schedule concatenates into one planning pass.
+        sel_all = (np.concatenate(selections) if selections
+                   else np.empty(0, dtype=np.int64))
+        raster_tiles = int(group_n_rtiles[sel_all].sum())
+        raster_quads = int(group_n_quads[sel_all].sum())
+        tc.plan_groups(group_tile[sel_all], group_starts[sel_all],
+                       group_ends[sel_all])
         tgc_counts = dict(tgc.flush_counts)
     else:
         portions = len(workload.prim_group_ranges)
         raster_tiles = int(workload.group_n_rtiles.sum())
         raster_quads = int(workload.group_n_quads.sum())
-        for tile, s, e in zip(workload.group_tile.tolist(),
-                              workload.group_starts.tolist(),
-                              workload.group_ends.tolist()):
-            tc.insert_group(tile, s, e)
+        tc.plan_groups(workload.group_tile, workload.group_starts,
+                       workload.group_ends)
     tc.drain()
 
     rows, seg_offsets = _expand_segments(tc.seg_starts, tc.seg_ends)
@@ -280,10 +282,29 @@ def execute_flush_plan(plan, workload, config, stats, crop, zrop, shader,
                                           workload.width)
     tag_flush = np.repeat(live_flush, 2)
     if live_rows.shape[0]:
-        tag_space = int(tag_stream.max()) + 1
-        _, first_idx = np.unique(tag_flush * tag_space + tag_stream,
-                                 return_index=True)
-        keep = np.sort(first_idx)
+        if cfg.cache_line_bytes % (16 * cfg.bytes_per_pixel) == 0:
+            # Structural fast path: when a cache line spans a whole number
+            # of 16px screen tiles, every quad of a flush shares one
+            # line-column, so a tag is identified inside its flush by the
+            # pixel row alone — 16 possible rows per tile.  First
+            # occurrences then come from one scatter over a dense
+            # (flush, row mod 16) key space instead of a sort over the
+            # whole tag stream.
+            qy_live = quads.qy[live_rows]
+            row_in_tile = np.empty(tag_stream.shape[0], dtype=np.int64)
+            row_in_tile[0::2] = (qy_live * 2) & 15
+            row_in_tile[1::2] = (qy_live * 2 + 1) & 15
+            key = tag_flush * 16 + row_in_tile
+            first = np.empty(n_flushes * 16, dtype=np.int64)
+            idx = np.arange(key.shape[0], dtype=np.int64)
+            first[key[::-1]] = idx[::-1]
+            keep = first[key] == idx
+        else:
+            tag_space = int(tag_stream.max()) + 1
+            _, first_idx = np.unique(tag_flush * tag_space + tag_stream,
+                                     return_index=True)
+            keep = np.zeros(tag_stream.shape[0], dtype=bool)
+            keep[first_idx] = True
         dedup_tags = tag_stream[keep]
         dedup_flush = tag_flush[keep]
     else:

@@ -50,14 +50,41 @@ class DrawWorkload:
     """
 
     def __init__(self, quads, n_prims, width, height, n_terminated_pixels,
-                 terminated_stencil_tags):
+                 terminated_stencil_tags, term_source=None):
         self.quads = quads
         self.n_prims = int(n_prims)
         self.width = int(width)
         self.height = int(height)
-        self.n_terminated_pixels = int(n_terminated_pixels)
-        self.terminated_stencil_tags = terminated_stencil_tags
+        self._n_terminated = (None if n_terminated_pixels is None
+                              else int(n_terminated_pixels))
+        self._term_tags = terminated_stencil_tags
+        self._term_source = term_source
         self._build_groups()
+
+    # The termination set is consumed by the HET stencil-update pass at end
+    # of draw; non-HET digestion defers the whole accumulated-alpha pass
+    # behind these properties so baseline/qm draws never pay for it.
+    def _compute_termination(self):
+        stream, config = self._term_source
+        terminated = stream.accumulated_alpha >= config.termination_alpha
+        term_pixels = np.flatnonzero(terminated)
+        lines_per_row = max(1, -(-stream.width // config.cache_line_bytes))
+        ys, xs = np.divmod(term_pixels, stream.width)
+        self._term_tags = np.unique(
+            ys * lines_per_row + xs // config.cache_line_bytes)
+        self._n_terminated = int(terminated.sum())
+
+    @property
+    def n_terminated_pixels(self):
+        if self._n_terminated is None:
+            self._compute_termination()
+        return self._n_terminated
+
+    @property
+    def terminated_stencil_tags(self):
+        if self._term_tags is None:
+            self._compute_termination()
+        return self._term_tags
 
     @classmethod
     def from_stream(cls, stream, config):
@@ -76,15 +103,16 @@ class DrawWorkload:
         # termination update each (the CROP alpha test's double-sided
         # condition fires once per pixel).  The stream's cached accumulated
         # alpha is the alpha map of a full blend — reusing it avoids
-        # re-running the whole colour blend per draw.
-        terminated = stream.accumulated_alpha >= config.termination_alpha
-        term_pixels = np.flatnonzero(terminated)
-        lines_per_row = max(1, -(-stream.width // config.cache_line_bytes))
-        ys, xs = np.divmod(term_pixels, stream.width)
-        tags = np.unique(ys * lines_per_row + xs // config.cache_line_bytes)
-        return cls(quads, n_prims, stream.width, stream.height,
-                   n_terminated_pixels=int(terminated.sum()),
-                   terminated_stencil_tags=tags)
+        # re-running the whole colour blend per draw; the pass itself is
+        # deferred until the termination set is actually read (HET draws,
+        # or explicit property access).
+        workload = cls(quads, n_prims, stream.width, stream.height,
+                       n_terminated_pixels=None,
+                       terminated_stencil_tags=None,
+                       term_source=(stream, config))
+        if config.enable_het:
+            workload._compute_termination()
+        return workload
 
     # ------------------------------------------------------------------
 
@@ -104,9 +132,7 @@ class DrawWorkload:
             self.group_n_quads = np.empty(0, dtype=np.int64)
             self.group_n_rtiles = np.empty(0, dtype=np.int64)
             self.prim_group_ranges = {}
-            self.prim_grids = {}
-            self.pair_prim = np.empty(0, dtype=np.int64)
-            self.pair_grid = np.empty(0, dtype=np.int64)
+            self._prim_grids = {}
             return
         combined = quads.prim_ids * self.n_tiles + quads.tile_ids
         if np.any(np.diff(combined) < 0):
@@ -133,17 +159,58 @@ class DrawWorkload:
             int(self.group_prim[s]): (int(s), int(e))
             for s, e in zip(prim_starts, prim_ends)
         }
-        self.prim_grids = {
-            prim: np.unique(self.group_grid[s:e])
-            for prim, (s, e) in self.prim_group_ranges.items()
+    def _build_pair_structures(self):
+        """(primitive, grid) occurrence and lookup structures (TGC path).
+
+        Deferred: only QM draws with the TGC enabled consume them.
+        ``pair_prim``/``pair_grid`` flatten the occurrences in TGC
+        insertion order — draw order over primitives, ascending grid id
+        within each (the order ``prim_grids`` yields); groups are
+        (prim, tile)-sorted, so a unique over a combined key produces
+        exactly that sequence.
+        """
+        n_grids = int(self.group_grid.max()) + 1 if len(self.quads) else 1
+        self._n_grids = n_grids
+        pair_key = self.group_prim * n_grids + self.group_grid
+        pairs = np.unique(pair_key)
+        self._pair_prim, self._pair_grid = np.divmod(pairs, n_grids)
+        # Group rows regrouped by (primitive, grid): a stable sort on the
+        # pair key keeps each pair's rows in ascending group order — the
+        # exact order a per-primitive `flatnonzero(grid == g)` scan yields
+        # — so `select_grid_groups` becomes per-pair range lookups instead
+        # of a per-flush scan over every group of every primitive.
+        pair_order = np.argsort(pair_key, kind="stable")
+        sorted_keys = pair_key[pair_order]
+        range_starts = segment_boundaries(sorted_keys)
+        range_ends = np.concatenate((range_starts[1:], [sorted_keys.shape[0]]))
+        self._groups_by_pair = pair_order
+        self._pair_ranges = {
+            int(k): (int(s), int(e))
+            for k, s, e in zip(sorted_keys[range_starts], range_starts,
+                               range_ends)
         }
-        # Flattened (primitive, grid) occurrences in TGC insertion order:
-        # draw order over primitives, ascending grid id within each (the
-        # order `prim_grids` yields).  Groups are (prim, tile)-sorted, so a
-        # unique over a combined key produces exactly that sequence.
-        n_grids = int(self.group_grid.max()) + 1
-        pairs = np.unique(self.group_prim * n_grids + self.group_grid)
-        self.pair_prim, self.pair_grid = np.divmod(pairs, n_grids)
+
+    @property
+    def pair_prim(self):
+        if not hasattr(self, "_pair_prim"):
+            self._build_pair_structures()
+        return self._pair_prim
+
+    @property
+    def pair_grid(self):
+        if not hasattr(self, "_pair_grid"):
+            self._build_pair_structures()
+        return self._pair_grid
+
+    @property
+    def prim_grids(self):
+        """Per-primitive ascending grid ids (TGC insertion order)."""
+        if not hasattr(self, "_prim_grids"):
+            self._prim_grids = {
+                prim: np.unique(self.group_grid[s:e])
+                for prim, (s, e) in self.prim_group_ranges.items()
+            }
+        return self._prim_grids
 
     def select_grid_groups(self, grid_id, prims):
         """(prim, tile) group indices of ``prims`` falling in ``grid_id``.
@@ -154,16 +221,22 @@ class DrawWorkload:
         rasterisation and the batched flush planner so both engines select
         identical work in identical order.
         """
+        if not hasattr(self, "_pair_ranges"):
+            self._build_pair_structures()
+        ranges = self._pair_ranges
+        by_pair = self._groups_by_pair
+        n_grids = self._n_grids
         selected = []
         n_portions = 0
         for prim in prims:
-            s, e = self.prim_group_ranges[prim]
-            in_grid = np.flatnonzero(self.group_grid[s:e] == grid_id) + s
-            if in_grid.size:
+            span = ranges.get(prim * n_grids + grid_id)
+            if span is not None:
                 n_portions += 1
-                selected.append(in_grid)
+                selected.append(by_pair[span[0]:span[1]])
         if not selected:
             return np.empty(0, dtype=np.int64), 0
+        if len(selected) == 1:
+            return selected[0], 1
         return np.concatenate(selected), n_portions
 
     @property

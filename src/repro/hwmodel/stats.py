@@ -9,6 +9,8 @@ utilisation is ``busy / total`` — exactly the
 
 from __future__ import annotations
 
+import numpy as np
+
 
 class UnitStats:
     """Counters for one hardware unit."""
@@ -33,14 +35,20 @@ class UnitStats:
         left-to-right float additions, so the result is bit-identical to
         calling :meth:`add` once per event — the property the batched
         flush engine relies on for cycle-exactness against the scalar
-        per-flush path.  ``items`` is the (order-insensitive) total.
+        per-flush path.  The accumulation runs as one ``np.add.accumulate``
+        seeded with the current total, which performs exactly that
+        left-to-right addition order (unlike ``np.sum``'s pairwise tree)
+        at vector speed.  ``items`` is the (order-insensitive) total.
         """
-        values = (cycles_seq.tolist() if hasattr(cycles_seq, "tolist")
-                  else list(cycles_seq))
-        if items < 0 or any(v < 0 for v in values):
+        if not isinstance(cycles_seq, np.ndarray):
+            cycles_seq = list(cycles_seq)
+        values = np.asarray(cycles_seq, dtype=np.float64).reshape(-1)
+        if items < 0 or (values.size and float(values.min()) < 0):
             raise ValueError(f"negative work recorded on {self.name}")
         self.items += int(items)
-        self.busy_cycles = sum(values, self.busy_cycles)
+        if values.size:
+            seeded = np.concatenate(([self.busy_cycles], values))
+            self.busy_cycles = float(np.add.accumulate(seeded)[-1])
 
     def __repr__(self):
         return (f"UnitStats({self.name!r}, items={self.items}, "

@@ -84,14 +84,41 @@ class TileGridCoalescer:
     def plan_groups(self, grid_ids, prim_rows):
         """Full flush-group schedule for a (grid, primitive) sequence.
 
-        Runs :meth:`insert_pairs` over the whole occurrence stream and
-        then :meth:`drain`, returning every flushed ``(grid_id,
-        prim_rows, reason)`` group in exact flush order.  This is the TGC
-        half of the batched flush planner: since TGC flushes only *append*
-        to the downstream TC insertion sequence, planning them up front is
-        sequence-equivalent to the interleaved scalar loop.
+        Equivalent to :meth:`insert_pairs` over the whole occurrence
+        stream followed by :meth:`drain` — identical flush groups in
+        identical order — but the per-pair loop is collapsed into one
+        pass with hoisted locals and plain-int iteration, since this is
+        the planning-phase inner loop of the batched flush engine (tens
+        of thousands of pairs per draw).
         """
-        groups = list(self.insert_pairs(grid_ids, prim_rows))
+        grid_l = grid_ids.tolist() if hasattr(grid_ids, "tolist") else grid_ids
+        prim_l = prim_rows.tolist() if hasattr(prim_rows, "tolist") else prim_rows
+        groups = []
+        append = groups.append
+        bins = self._bins
+        get = bins.get
+        popitem = bins.popitem
+        n_bins = self.n_bins
+        capacity = self.bin_capacity
+        counts = self.flush_counts
+        full = self.FLUSH_FULL
+        evict = self.FLUSH_EVICT
+        n_pairs = 0
+        for grid_id, prim_row in zip(grid_l, prim_l):
+            n_pairs += 1
+            prims = get(grid_id)
+            if prims is None:
+                if len(bins) >= n_bins:
+                    old_grid, old_prims = popitem(last=False)
+                    counts[evict] += 1
+                    append((old_grid, old_prims, evict))
+                prims = bins[grid_id] = []
+            prims.append(prim_row)
+            if len(prims) >= capacity:
+                del bins[grid_id]
+                counts[full] += 1
+                append((grid_id, prims, full))
+        self.prims_inserted += n_pairs
         groups.extend(self.drain())
         return groups
 

@@ -10,6 +10,7 @@ for later runs (``repro bench --baseline BENCH_rasterize.json``).
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
 
@@ -41,8 +42,13 @@ def suite_report(run, baseline=None):
         "suite": run.suite,
         "quick": run.quick,
         "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        # Environment fingerprint: trajectories of BENCH files are only
+        # comparable when these match (medians from a 4-core laptop and a
+        # 1-core CI runner are different experiments).
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
         "benchmarks": rows,
     }
     if baseline is not None:
@@ -65,6 +71,30 @@ def compare_to_baseline(report, baseline):
             continue
         speedups[row["name"]] = base["median_ms"] / row["median_ms"]
     return speedups
+
+
+def check_report(report, reference, tolerance=0.5):
+    """Compare fresh medians against a checked-in reference report.
+
+    Returns ``[(benchmark name, slowdown_ratio), ...]`` for benchmarks
+    whose fresh median exceeds the reference median by more than
+    ``tolerance`` (0.5 = 50% slower).  Benchmarks present on only one
+    side are ignored.  This powers ``repro bench --check`` — an *advisory*
+    regression tripwire, not a hard CI gate: wall-clock medians move with
+    machine load, so treat a failure as "go look", not "revert".
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    ref_rows = {row["name"]: row for row in reference.get("benchmarks", [])}
+    regressions = []
+    for row in report.get("benchmarks", []):
+        ref = ref_rows.get(row["name"])
+        if ref is None or not ref.get("median_ms"):
+            continue
+        ratio = row["median_ms"] / ref["median_ms"]
+        if ratio > 1.0 + tolerance:
+            regressions.append((row["name"], ratio))
+    return regressions
 
 
 def write_report(report, path):

@@ -204,21 +204,61 @@ def _suite_hw(quick, scene=None, repeat=None):
     return results
 
 
+def _stage_breakdown(session, n_views):
+    """Per-frame wall-clock stage map of one serial session run.
+
+    Collected in a separate, untimed run so the instrumentation never
+    contaminates the measured repetitions; returns ``{}`` on engines whose
+    session predates stage collection (the suite also runs against older
+    checkouts to produce baseline reports — probed by signature so a real
+    ``TypeError`` inside the run still propagates).
+    """
+    import inspect
+
+    if "collect_stages" not in inspect.signature(session.run).parameters:
+        return {}
+    result = session.run(n_views=n_views, collect_stages=True)
+    return {f"stage_{name}_ms_per_frame": ms / n_views
+            for name, ms in sorted(result.stage_ms.items())}
+
+
 def _suite_trajectory(quick, scene=None, repeat=None):
+    """End-to-end multi-frame trajectories, per hardware variant.
+
+    The headline suite of the hardware model: each benchmark renders a
+    whole ``RenderSession`` orbit — preprocess, rasterise, digest and
+    simulate every frame — through one variant, cold, plus warm-CROP-cache
+    rows (serial by contract) for the cache-carrying endpoints.  Rows
+    report frames/s and a wall-clock per-stage breakdown, so
+    ``BENCH_trajectory.json`` doubles as the repo's hotspot map.
+    """
     from repro.engine.session import RenderSession
 
     scene = scene or "lego"
-    repeat = repeat or (1 if quick else 2)
+    repeat = repeat or (1 if quick else 3)
     n_views = 2 if quick else 4
-    session = RenderSession(scene, backend="hw:het+qm", baseline=None)
+    cold_variants = ("baseline", "het+qm") if quick else (
+        "baseline", "qm", "het", "het+qm")
+    warm_variants = () if quick else ("baseline", "het+qm")
 
-    timing = time_callable(lambda: session.run(n_views=n_views),
-                           warmup=0, repeat=repeat,
-                           name="trajectory/session")
-    return [BenchResult(timing, scene, {
-        "frames": n_views,
-        "ms_per_frame": timing.median_ms / n_views,
-    })]
+    results = []
+    for variant, warm in ([(v, False) for v in cold_variants]
+                          + [(v, True) for v in warm_variants]):
+        session = RenderSession(scene, backend=f"hw:{variant}",
+                                baseline=None, warm_crop_cache=warm)
+        mode = "warm" if warm else "cold"
+        timing = time_callable(
+            lambda s=session: s.run(n_views=n_views),
+            warmup=0 if quick else 1, repeat=repeat,
+            name=f"trajectory/{variant}:{mode}")
+        metrics = {
+            "frames": n_views,
+            "ms_per_frame": timing.median_ms / n_views,
+            "frames_per_sec": timing.per_second(n_views),
+        }
+        metrics.update(_stage_breakdown(session, n_views))
+        results.append(BenchResult(timing, scene, metrics))
+    return results
 
 
 #: Suite registry: name -> callable(quick, scene=None, repeat=None).

@@ -8,6 +8,7 @@ is stable enough to compare across runs.
 
 from __future__ import annotations
 
+import gc
 import statistics
 import time
 
@@ -91,10 +92,21 @@ def time_callable(fn, warmup=1, repeat=5, name=None,
         raise ValueError(f"repeat must be >= 1, got {repeat}")
     for _ in range(int(warmup)):
         fn()
-    times = []
-    for _ in range(int(repeat)):
-        t0 = clock()
-        fn()
-        times.append(clock() - t0)
+    # A garbage-collection pass landing inside one repetition skews that
+    # sample by milliseconds; collect once up front, then keep the
+    # collector off for the measured region so every repeat sees the same
+    # allocator state.
+    gc_was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        times = []
+        for _ in range(int(repeat)):
+            t0 = clock()
+            fn()
+            times.append(clock() - t0)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
     label = name if name is not None else getattr(fn, "__name__", "benchmark")
     return TimingResult(label, times, warmup)

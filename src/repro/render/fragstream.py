@@ -58,7 +58,7 @@ class FragmentStream:
     """
 
     def __init__(self, prim_ids, x, y, alphas, prim_colors, width, height,
-                 binning=None):
+                 binning=None, validate=True):
         self.prim_ids = np.asarray(prim_ids, dtype=np.int32)
         self.x = np.asarray(x, dtype=np.int32)
         self.y = np.asarray(y, dtype=np.int32)
@@ -70,12 +70,17 @@ class FragmentStream:
         for name, arr in (("x", self.x), ("y", self.y), ("alphas", self.alphas)):
             if arr.shape != (n,):
                 raise ValueError(f"{name} must have shape ({n},), got {arr.shape}")
-        if n and (self.prim_ids.min() < 0
-                  or self.prim_ids.max() >= self.prim_colors.shape[0]):
-            raise ValueError("prim_ids reference colours out of range")
-        if n and ((self.x.min() < 0) or (self.x.max() >= self.width)
-                  or (self.y.min() < 0) or (self.y.max() >= self.height)):
-            raise ValueError("fragment coordinates fall outside the framebuffer")
+        # ``validate=False`` skips the six full-stream min/max range
+        # reductions; reserved for producers whose outputs are range-safe
+        # by construction (the rasterisers clip to the framebuffer).
+        if validate and n:
+            if (self.prim_ids.min() < 0
+                    or self.prim_ids.max() >= self.prim_colors.shape[0]):
+                raise ValueError("prim_ids reference colours out of range")
+            if ((self.x.min() < 0) or (self.x.max() >= self.width)
+                    or (self.y.min() < 0) or (self.y.max() >= self.height)):
+                raise ValueError(
+                    "fragment coordinates fall outside the framebuffer")
         self.binning = binning
         self._cache = {}
 
@@ -123,9 +128,24 @@ class FragmentStream:
     def _pixel_order(self):
         """Indices lexsorting fragments by (pixel, draw order)."""
         if "pixel_order" not in self._cache:
-            self._cache["pixel_order"] = np.lexsort(
-                (self.prim_ids, self.pixel_ids))
+            prim_ids = self.prim_ids
+            if prim_ids.shape[0] == 0 or (prim_ids[1:] >= prim_ids[:-1]).all():
+                # Streams in emission order (the rasterisers' contract)
+                # have non-decreasing prim ids, so a single stable sort on
+                # the pixel key yields the identical permutation to the
+                # two-key lexsort — within a pixel the draw order *is* the
+                # stream order — at roughly half the sorting cost.
+                order = np.argsort(self.pixel_ids, kind="stable")
+            else:
+                order = np.lexsort((prim_ids, self.pixel_ids))
+            self._cache["pixel_order"] = order
         return self._cache["pixel_order"]
+
+    def _pixel_starts(self, pix_sorted):
+        """Segment starts of the pixel-sorted stream, computed once."""
+        if "pixel_starts" not in self._cache:
+            self._cache["pixel_starts"] = segment_boundaries(pix_sorted)
+        return self._cache["pixel_starts"]
 
     @property
     def arrival_alpha(self):
@@ -141,15 +161,26 @@ class FragmentStream:
         if "arrival_alpha" not in self._cache:
             order = self._pixel_order
             pix_sorted = self.pixel_ids[order]
-            alpha_eff = np.where(self.unpruned, self.alphas, 0.0)[order]
-            alpha_eff = alpha_eff.astype(np.float64)
-            starts = segment_boundaries(pix_sorted)
-            logs = np.log(np.maximum(1.0 - alpha_eff, 1e-30))
+            # Gather the narrow arrays first, widen after: same values as
+            # ``where(...)[order].astype(float64)``, fewer float64 passes.
+            alpha_eff = np.where(self.unpruned[order],
+                                 self.alphas[order], np.float32(0.0))
+            starts = self._pixel_starts(pix_sorted)
+            logs = alpha_eff.astype(np.float64)
+            np.subtract(1.0, logs, out=logs)
+            if len(self) and float(self.alphas.max()) >= 1.0:
+                # The 1e-30 clamp matters only for alpha == 1 exactly;
+                # rasterised streams cap alpha at 0.99 so the extra pass
+                # is skipped when provably inert (max(y, 1e-30) == y).
+                np.maximum(logs, 1e-30, out=logs)
+            np.log(logs, out=logs)
             inclusive = segmented_cumsum(logs, pix_sorted, starts=starts)
             exclusive_log_t = inclusive - logs
-            arrival_sorted = 1.0 - np.exp(exclusive_log_t)
+            arrival_sorted = np.exp(exclusive_log_t, out=exclusive_log_t)
+            np.subtract(1.0, arrival_sorted, out=arrival_sorted)
             arrival = np.empty(len(self), dtype=np.float64)
             arrival[order] = arrival_sorted
+            self._cache["arrival_sorted"] = arrival_sorted
             self._cache["arrival_alpha"] = arrival
         return self._cache["arrival_alpha"]
 
@@ -182,8 +213,16 @@ class FragmentStream:
             if lag == 0:
                 self._cache[key] = self.arrival_alpha < threshold
             else:
-                rank, term_rank = self._pixel_ranks(threshold)
-                self._cache[key] = rank < term_rank[self.pixel_ids] + int(lag)
+                # Compare in the pixel-sorted domain (local ranks against
+                # the pixel's termination rank) and scatter the boolean
+                # once — same mask as gathering rank/term_rank per
+                # fragment, minus two full-width int64 passes.
+                local, term_rank, order, pix_sorted = \
+                    self._pixel_ranks_sorted(threshold)
+                unterm_sorted = local < term_rank[pix_sorted] + int(lag)
+                out = np.empty(len(self), dtype=bool)
+                out[order] = unterm_sorted
+                self._cache[key] = out
         return self._cache[key]
 
     def het_blended_mask(self, threshold=DEFAULT_TERMINATION_ALPHA, lag=0):
@@ -200,29 +239,45 @@ class FragmentStream:
                                 & self.unterminated_on_arrival(threshold, lag))
         return self._cache[key]
 
-    def _pixel_ranks(self, threshold):
-        """Per-fragment rank within its pixel and per-pixel termination rank.
+    def _pixel_ranks_sorted(self, threshold):
+        """Pixel-sorted rank structure: ``(local, term_rank, order, pix)``.
 
-        The termination rank is the rank of the first fragment arriving
-        with accumulated alpha already at/above the threshold (i.e. the first
-        one perfect HET would kill); pixels that never terminate get a rank
-        beyond any fragment count.
+        ``local`` is each fragment's rank within its pixel in the
+        pixel-sorted domain, ``term_rank`` the per-pixel rank of the first
+        fragment arriving with accumulated alpha already at/above the
+        threshold (i.e. the first one perfect HET would kill); pixels that
+        never terminate get a rank beyond any fragment count.
         """
-        key = ("pixel_ranks", round(float(threshold), 9))
+        key = ("pixel_ranks_sorted", round(float(threshold), 9))
         if key not in self._cache:
+            self.arrival_alpha  # materialise the sorted-domain cache
             order = self._pixel_order
             pix_sorted = self.pixel_ids[order]
-            starts = segment_boundaries(pix_sorted)
+            starts = self._pixel_starts(pix_sorted)
             lengths = np.diff(np.concatenate((starts, [len(self)])))
             local = np.arange(len(self), dtype=np.int64) - np.repeat(starts, lengths)
-            rank = np.empty(len(self), dtype=np.int64)
-            rank[order] = local
             sentinel = np.int64(len(self) + 1)
             term_rank = np.full(self.n_pixels, sentinel, dtype=np.int64)
-            terminated = self.arrival_alpha >= threshold
-            if terminated.any():
-                np.minimum.at(term_rank, self.pixel_ids[terminated],
-                              rank[terminated])
+            # Per-pixel first terminated rank, as a segment minimum over
+            # the pixel-sorted stream (ranks are the local indices there);
+            # one reduceat replaces the far slower ``np.minimum.at``
+            # scatter and produces the identical minima.
+            if len(self):
+                term_sorted = self._cache["arrival_sorted"] >= threshold
+                masked = np.where(term_sorted, local, sentinel)
+                seg_min = np.minimum.reduceat(masked, starts)
+                term_rank[pix_sorted[starts]] = seg_min
+            self._cache[key] = (local, term_rank, order, pix_sorted)
+        return self._cache[key]
+
+    def _pixel_ranks(self, threshold):
+        """Per-fragment rank within its pixel and per-pixel termination rank
+        (fragment-order view of :meth:`_pixel_ranks_sorted`)."""
+        key = ("pixel_ranks", round(float(threshold), 9))
+        if key not in self._cache:
+            local, term_rank, order, _pix = self._pixel_ranks_sorted(threshold)
+            rank = np.empty(len(self), dtype=np.int64)
+            rank[order] = local
             self._cache[key] = (rank, term_rank)
         return self._cache[key]
 
@@ -339,6 +394,60 @@ class FragmentStream:
         return self._cache[key]
 
 
+class _QuadColumnBuilder:
+    """Deferred per-quad aggregate reductions of a :class:`QuadTable`.
+
+    Holds the quad grouping of the fragment stream (the fragment sort
+    ``order``, the per-quad segment ``starts``, and the ``emit``
+    permutation into emission order) and materialises each aggregate
+    column on demand with the exact reductions the eager path used.
+    """
+
+    def __init__(self, stream, threshold, lag, order, starts, emit):
+        self.stream = stream
+        self.threshold = threshold
+        self.lag = lag
+        self.order = order
+        self.starts = starts
+        self.emit = emit
+        self._bit = None
+
+    def _bits(self):
+        """Coverage bit (y & 1) * 2 + (x & 1) per grouped fragment."""
+        if self._bit is None:
+            stream, order = self.stream, self.order
+            shift = ((stream.y[order] & 1) * 2
+                     + (stream.x[order] & 1)).astype(np.uint8)
+            self._bit = np.left_shift(np.uint8(1), shift)
+        return self._bit
+
+    def _fragment_flags(self, name):
+        stream = self.stream
+        if name.endswith("unpruned"):
+            flags = stream.unpruned
+        elif name.endswith("et_blended") or name.endswith("mask_et"):
+            flags = stream.het_blended_mask(self.threshold, self.lag)
+        else:
+            flags = stream.unterminated_on_arrival(self.threshold, self.lag)
+        return flags[self.order].view(np.uint8)
+
+    def column(self, name):
+        # Count columns reduce in int32 (narrower passes than int64, still
+        # overflow-proof); mask columns reduce in uint8 — a bitwise OR of
+        # 4-bit coverage masks can never overflow.  Results widen to the
+        # table's int64 convention afterwards.
+        if name == "n_fragments":
+            ones = np.ones(len(self.stream), dtype=np.int32)
+            per_quad = np.add.reduceat(ones, self.starts)
+        elif name.startswith("n_"):
+            per_quad = np.add.reduceat(
+                self._fragment_flags(name).astype(np.int32), self.starts)
+        else:
+            per_quad = np.bitwise_or.reduceat(
+                self._bits() * self._fragment_flags(name), self.starts)
+        return per_quad[self.emit].astype(np.int64)
+
+
 class QuadTable:
     """Per-quad aggregation of a fragment stream.
 
@@ -368,23 +477,34 @@ class QuadTable:
     mask_unterminated: coverage bitmap of fragments arriving unterminated.
     """
 
+    #: Aggregate columns materialised on first access when the table was
+    #: built lazily by :meth:`from_stream` — each hardware variant touches
+    #: only a subset (baseline never reads the termination columns), so
+    #: digestion skips the per-fragment reductions the draw won't use.
+    _LAZY_COLUMNS = frozenset((
+        "n_fragments", "n_unpruned", "n_et_blended", "n_unterminated",
+        "mask_unpruned", "mask_et", "mask_unterminated",
+    ))
+
     def __init__(self, prim_ids, qx, qy, tile_ids, grid_ids, qpos,
                  n_fragments, n_unpruned, n_et_blended, n_unterminated,
                  mask_unpruned, mask_et, mask_unterminated,
-                 width, height, threshold):
+                 width, height, threshold, _lazy=None):
         self.prim_ids = prim_ids
         self.qx = qx
         self.qy = qy
         self.tile_ids = tile_ids
         self.grid_ids = grid_ids
         self.qpos = qpos
-        self.n_fragments = n_fragments
-        self.n_unpruned = n_unpruned
-        self.n_et_blended = n_et_blended
-        self.n_unterminated = n_unterminated
-        self.mask_unpruned = mask_unpruned
-        self.mask_et = mask_et
-        self.mask_unterminated = mask_unterminated
+        self._lazy = _lazy
+        columns = dict(
+            n_fragments=n_fragments, n_unpruned=n_unpruned,
+            n_et_blended=n_et_blended, n_unterminated=n_unterminated,
+            mask_unpruned=mask_unpruned, mask_et=mask_et,
+            mask_unterminated=mask_unterminated)
+        for name, value in columns.items():
+            if value is not None or _lazy is None:
+                setattr(self, name, value)
         self.width = width
         self.height = height
         self.threshold = threshold
@@ -392,12 +512,31 @@ class QuadTable:
     def __len__(self):
         return self.prim_ids.shape[0]
 
+    def __getattr__(self, name):
+        # Only reached for attributes not set in __init__, i.e. deferred
+        # aggregate columns of a lazily built table.
+        if name in type(self)._LAZY_COLUMNS and self.__dict__.get("_lazy"):
+            value = self._lazy.column(name)
+            setattr(self, name, value)
+            if all(column in self.__dict__
+                   for column in type(self)._LAZY_COLUMNS):
+                # Every column is materialised: drop the builder so it
+                # stops pinning the stream and its O(n_fragments) index
+                # arrays.
+                self._lazy = None
+            return value
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}")
+
     @classmethod
     def from_stream(cls, stream, threshold=DEFAULT_TERMINATION_ALPHA, lag=0):
         """Build the table from a :class:`FragmentStream`.
 
         ``lag`` is the HET in-flight window (fragments per pixel that still
-        pass the termination test after the threshold crossing).
+        pass the termination test after the threshold crossing).  The
+        per-quad aggregate columns (fragment counts, coverage bitmaps) are
+        deferred: each is computed on first attribute access, identical to
+        the eager reductions.
         """
         n = len(stream)
         width, height = stream.width, stream.height
@@ -410,36 +549,22 @@ class QuadTable:
                        empty_i, empty_i, empty_i,
                        width, height, threshold)
 
-        qx = (stream.x // QUAD_SIZE).astype(np.int64)
-        qy = (stream.y // QUAD_SIZE).astype(np.int64)
+        qx = stream.x // QUAD_SIZE
+        qy = stream.y // QUAD_SIZE
         quads_x = -(-width // QUAD_SIZE)
-        quad_key = (stream.prim_ids.astype(np.int64) * (quads_x * -(-height // QUAD_SIZE))
-                    + qy * quads_x + qx)
+        # Narrow int32 local key, one widening combine with the prim id.
+        local_key = qy * np.int32(quads_x) + qx
+        quad_key = stream.prim_ids.astype(np.int64)
+        quad_key *= quads_x * -(-height // QUAD_SIZE)
+        quad_key += local_key
         order = np.argsort(quad_key, kind="stable")
         sorted_key = quad_key[order]
         starts = segment_boundaries(sorted_key)
 
-        unpruned = stream.unpruned[order].astype(np.int64)
-        et_blended = stream.het_blended_mask(threshold, lag)[order].astype(np.int64)
-        unterminated = stream.unterminated_on_arrival(
-            threshold, lag)[order].astype(np.int64)
-        ones = np.ones(n, dtype=np.int64)
-
-        n_fragments = np.add.reduceat(ones, starts)
-        n_unpruned = np.add.reduceat(unpruned, starts)
-        n_et = np.add.reduceat(et_blended, starts)
-        n_unterm = np.add.reduceat(unterminated, starts)
-
-        # Coverage bitmaps: bit (y & 1) * 2 + (x & 1) per covered fragment.
-        bit = np.left_shift(
-            1, ((stream.y[order] & 1) * 2 + (stream.x[order] & 1)).astype(np.int64))
-        mask_unpruned = np.bitwise_or.reduceat(bit * unpruned, starts)
-        mask_et = np.bitwise_or.reduceat(bit * et_blended, starts)
-        mask_unterm = np.bitwise_or.reduceat(bit * unterminated, starts)
-
-        q_prim = stream.prim_ids[order][starts].astype(np.int64)
-        q_qx = qx[order][starts]
-        q_qy = qy[order][starts]
+        first = order[starts]
+        q_prim = stream.prim_ids[first].astype(np.int64)
+        q_qx = qx[first].astype(np.int64)
+        q_qy = qy[first].astype(np.int64)
         tile_x = q_qx // QUADS_PER_TILE_AXIS
         tile_y = q_qy // QUADS_PER_TILE_AXIS
         tile_ids = tile_y * tiles_x + tile_x
@@ -448,16 +573,24 @@ class QuadTable:
                 + (q_qx % QUADS_PER_TILE_AXIS))
 
         # Emission order: primitive-major, then tile, then quad position.
-        emit = np.lexsort((qpos, tile_ids, q_prim))
+        # One stable sort on the combined key is the same permutation the
+        # three-key lexsort produced (the key encodes the triple
+        # lexicographically and both sorts are stable).
+        n_tiles = tiles_x * (-(-height // TILE_SIZE))
+        emit = np.argsort(
+            (q_prim * n_tiles + tile_ids) * QUADS_PER_TILE_AXIS ** 2 + qpos,
+            kind="stable")
+        lazy = _QuadColumnBuilder(stream, threshold, lag, order, starts, emit)
         return cls(
             prim_ids=q_prim[emit], qx=q_qx[emit], qy=q_qy[emit],
             tile_ids=tile_ids[emit], grid_ids=grid_ids[emit],
             qpos=qpos[emit],
-            n_fragments=n_fragments[emit], n_unpruned=n_unpruned[emit],
-            n_et_blended=n_et[emit], n_unterminated=n_unterm[emit],
-            mask_unpruned=mask_unpruned[emit], mask_et=mask_et[emit],
-            mask_unterminated=mask_unterm[emit],
+            n_fragments=None, n_unpruned=None,
+            n_et_blended=None, n_unterminated=None,
+            mask_unpruned=None, mask_et=None,
+            mask_unterminated=None,
             width=width, height=height, threshold=threshold,
+            _lazy=lazy,
         )
 
     # Convenience aggregates used by the experiments -------------------

@@ -180,7 +180,8 @@ def _clipped_bounds(splats, width, height):
     return sid, x0[sid], y0[sid], x1[sid], y1[sid]
 
 
-def rasterize_splats(splats, width, height, max_fragments=200_000_000):
+def rasterize_splats(splats, width, height, max_fragments=200_000_000,
+                     jobs=None):
     """Rasterise sorted splats into a :class:`FragmentStream` (batched).
 
     Parameters
@@ -195,6 +196,14 @@ def rasterize_splats(splats, width, height, max_fragments=200_000_000):
         explodes (e.g. a degenerate scene with screen-sized splats).  The
         batched path counts fragments *before* materialising them, so the
         guard fires without allocating the stream.
+    jobs:
+        Worker threads for the fragment-fill stage.  The ~64k-fragment
+        blocks are mutually independent (each writes a disjoint output
+        slice), so they fan out over the engine's frame executor
+        (:func:`repro.engine.executor.run_frames`); the stream is
+        bit-identical for any ``jobs`` — block boundaries and all
+        arithmetic are unchanged, only the wall-clock schedule differs.
+        ``None``/``1`` keeps the single-threaded loop.
 
     Returns
     -------
@@ -229,11 +238,13 @@ def rasterize_splats(splats, width, height, max_fragments=200_000_000):
         return stream
 
     prim_ids, x, y, alphas = _fill_fragments(
-        splats, sid, rs, yrow, dy, xlo, xhi, lengths, total)
+        splats, sid, rs, yrow, dy, xlo, xhi, lengths, total, jobs=jobs)
+    # Coordinates come from bounds clipped to the framebuffer and prim ids
+    # from splat rows, so the stream skips the range re-validation.
     return FragmentStream(
         prim_ids=prim_ids, x=x, y=y, alphas=alphas,
         prim_colors=splats.colors, width=width, height=height,
-        binning=binning)
+        binning=binning, validate=False)
 
 
 def _row_intervals(splats, sid, x0, y0, x1, y1):
@@ -336,12 +347,17 @@ def _scan_rows_exact(rows, x0r, x1r, cxr, p0r, t0, r0r, p1r, t1, r1r):
     return first, last
 
 
-def _fill_fragments(splats, sid, rs, yrow, dy, xlo, xhi, lengths, total):
+def _fill_fragments(splats, sid, rs, yrow, dy, xlo, xhi, lengths, total,
+                    jobs=None):
     """Materialise the fragment arrays from snapped row intervals.
 
     Every arithmetic step mirrors the scalar loop's expression order
     operation for operation (see module docstring), evaluated in blocks of
-    ~64k fragments so all intermediates stay cache-resident.
+    ~64k fragments so all intermediates stay cache-resident.  Blocks write
+    disjoint output slices, so with ``jobs > 1`` they run across the
+    engine's thread executor with bit-identical results (NumPy releases
+    the GIL inside the ufunc loops, so the conic/alpha math genuinely
+    overlaps).
     """
     live = np.flatnonzero(lengths > 0)
     rsl = rs[live]
@@ -365,39 +381,66 @@ def _fill_fragments(splats, sid, rs, yrow, dy, xlo, xhi, lengths, total):
     y_out = np.empty(total, dtype=np.int32)
     alphas = np.empty(total, dtype=np.float32)
 
+    # Block boundaries (in live-row space) are fixed by the fragment
+    # budget alone — identical whether the blocks then run serially or on
+    # the thread pool.
     n_rows = live.size
+    blocks = []
     r0b = 0
     while r0b < n_rows:
         r1b = int(np.searchsorted(fstarts, fstarts[r0b] + _FRAGMENT_BLOCK,
                                   side="left"))
         r1b = min(max(r1b, r0b + 1), n_rows)
-        f0 = int(fstarts[r0b])
-        f1 = int(fstarts[r1b])
-        fr = np.repeat(np.arange(r0b, r1b), counts[r0b:r1b])
-        xg = np.arange(f0, f1, dtype=np.int64) - row_shift[fr]
+        blocks.append((r0b, r1b))
+        r0b = r1b
+
+    def fill_block(block):
+        r0, r1 = block
+        f0 = int(fstarts[r0])
+        f1 = int(fstarts[r1])
+        reps = counts[r0:r1]
+
+        def spread(row_values):
+            # Row-constant values broadcast to fragments: same elements as
+            # ``row_values[fr]`` with ``fr = repeat(arange(r0, r1), reps)``,
+            # but np.repeat streams instead of gathering.
+            return np.repeat(row_values[r0:r1], reps)
+
+        xg = np.arange(f0, f1, dtype=np.int64) - spread(row_shift)
         x_out[f0:f1] = xg
-        y_out[f0:f1] = row_y32[fr]
-        prim_ids[f0:f1] = row_prim32[fr]
+        y_out[f0:f1] = spread(row_y32)
+        prim_ids[f0:f1] = spread(row_prim32)
 
         # alpha = min(op * exp(-max(0.5*((a*dx)*dx + (c*dy)*dy)
         #                           + (b*dx)*dy, 0)), ALPHA_MAX)
         dx = xg.astype(np.float64)
         dx += 0.5
-        dx -= row_cx[fr]
-        power = row_a[fr] * dx
+        dx -= spread(row_cx)
+        power = spread(row_a)
         power *= dx
-        power += row_cyy[fr]
+        power *= dx
+        power += spread(row_cyy)
         power *= 0.5
-        cross = row_b[fr] * dx
-        cross *= row_dy[fr]
+        cross = spread(row_b)
+        cross *= dx
+        cross *= spread(row_dy)
         power += cross
         np.maximum(power, 0.0, out=power)
         np.negative(power, out=power)
         np.exp(power, out=power)
-        power *= row_op[fr]
+        power *= spread(row_op)
         np.minimum(power, ALPHA_MAX, out=power)
         alphas[f0:f1] = power
-        r0b = r1b
+
+    if jobs is not None and jobs > 1 and len(blocks) > 1:
+        # Imported lazily: the engine package pulls in the render stack at
+        # import time, so a module-level import would be circular.
+        from repro.engine.executor import run_frames
+
+        run_frames(fill_block, blocks, jobs=jobs)
+    else:
+        for block in blocks:
+            fill_block(block)
     return prim_ids, x_out, y_out, alphas
 
 

@@ -258,6 +258,82 @@ class TestRangePlanner:
         with pytest.raises(ValueError):
             RangeTileCoalescer(timeout_quads=0)
 
+    @pytest.mark.parametrize("timeout", [None, 50])
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_plan_groups_matches_insert_group(self, seed, timeout):
+        """The collapsed batch pass == one insert_group call per group,
+        including repeated same-tile runs (which the batch pass coalesces
+        into one resolved bin entry)."""
+        from repro.hwmodel.tc import RangeTileCoalescer
+
+        rng = np.random.default_rng(seed)
+        n_groups = 200
+        lengths = rng.integers(1, 40, n_groups)
+        ends = np.cumsum(lengths)
+        starts = ends - lengths
+        # Run-heavy tile sequence: geometric runs of the same tile.
+        tiles = np.repeat(rng.integers(0, 8, 60),
+                          rng.integers(1, 8, 60))[:n_groups]
+        tiles = np.resize(tiles, n_groups)
+
+        ref = RangeTileCoalescer(n_bins=4, bin_capacity=16,
+                                 timeout_quads=timeout)
+        for tile, s, e in zip(tiles.tolist(), starts.tolist(), ends.tolist()):
+            ref.insert_group(tile, s, e)
+        ref.drain()
+
+        bat = RangeTileCoalescer(n_bins=4, bin_capacity=16,
+                                 timeout_quads=timeout)
+        bat.plan_groups(tiles, starts, ends)
+        bat.drain()
+
+        assert bat.flush_tile == ref.flush_tile
+        assert bat.flush_reason == ref.flush_reason
+        assert bat.flush_counts == ref.flush_counts
+        assert bat.quads_inserted == ref.quads_inserted
+        # Row streams must expand identically (segment splits may differ
+        # when runs collapse, so compare per-flush expanded rows).
+        for i in range(len(bat.flush_tile)):
+            def rows(c, i=i):
+                lo, hi = c.flush_seg_bounds[i], c.flush_seg_bounds[i + 1]
+                return [r for s, e in zip(c.seg_starts[lo:hi],
+                                          c.seg_ends[lo:hi])
+                        for r in range(s, e)]
+            assert rows(bat) == rows(ref)
+
+
+class TestSharedTimeoutPath:
+    """Scalar and range coalescers share one timeout code path; the
+    ``tc_flush_timeout`` accounting must be identical across both (and
+    hence across the scalar and batched flush engines)."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_timeout_counts_equal(self, seed):
+        from repro.hwmodel.tc import RangeTileCoalescer
+
+        rng = np.random.default_rng(seed)
+        n_groups = 120
+        lengths = rng.integers(1, 12, n_groups)
+        ends = np.cumsum(lengths)
+        starts = ends - lengths
+        tiles = rng.integers(0, 12, n_groups)
+        rows = np.arange(ends[-1], dtype=np.int64)
+
+        scalar = TileCoalescer(n_bins=4, bin_capacity=16, timeout_quads=9)
+        flushed = list(scalar.insert_groups(tiles, starts, ends, rows))
+        flushed.extend(scalar.drain())
+
+        planner = RangeTileCoalescer(n_bins=4, bin_capacity=16,
+                                     timeout_quads=9)
+        planner.plan_groups(tiles, starts, ends)
+        planner.drain()
+
+        assert scalar.flush_counts[TileCoalescer.FLUSH_TIMEOUT] > 0
+        assert (planner.flush_counts[TileCoalescer.FLUSH_TIMEOUT]
+                == scalar.flush_counts[TileCoalescer.FLUSH_TIMEOUT])
+        assert planner.flush_counts == scalar.flush_counts
+        assert planner.flush_reason == [b.reason for b in flushed]
+
 
 class TestTGCBatchInsert:
     @pytest.mark.parametrize("seed", [0, 7])
@@ -276,3 +352,20 @@ class TestTGCBatchInsert:
         assert got == expected
         assert bat.flush_counts == seq.flush_counts
         assert bat.prims_inserted == seq.prims_inserted
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_plan_groups_matches_insert_pairs(self, seed):
+        """The collapsed planning pass == insert_pairs + drain exactly."""
+        rng = np.random.default_rng(seed)
+        grids = rng.integers(0, 9, 300)
+        prims = np.arange(300)
+        seq = TileGridCoalescer(n_bins=3, bin_capacity=5)
+        expected = []
+        for grid, prim in zip(grids, prims):
+            expected.extend(seq.insert(int(grid), int(prim)))
+        expected.extend(seq.drain())
+        plan = TileGridCoalescer(n_bins=3, bin_capacity=5)
+        got = plan.plan_groups(grids, prims)
+        assert got == expected
+        assert plan.flush_counts == seq.flush_counts
+        assert plan.prims_inserted == seq.prims_inserted

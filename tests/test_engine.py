@@ -207,3 +207,52 @@ class TestDiskCache:
                                               from_cache=True)
         assert restored.from_cache
         assert restored.aggregates() == result.aggregates()
+
+
+class TestLazyFrameImages:
+    def test_hw_frame_image_materialises_lazily(self):
+        backend = create_backend("hw:het")
+        profile = get_profile("lego")
+        frame = backend.render(get_cloud("lego"), profile.camera())
+        # The blend is deferred until the image is actually read...
+        assert frame._image is None
+        image = frame.image
+        assert image.shape == (profile.height, profile.width, 3)
+        # ...and equals the stream's eager blend exactly.
+        expected, alpha = frame.raw.stream.blend_image(
+            early_term=True, threshold=backend.config.termination_alpha)
+        assert np.array_equal(image, expected)
+        assert np.array_equal(frame.alpha, alpha)
+
+    def test_session_discards_images_without_blending(self):
+        session = RenderSession("lego", backend="hw:baseline", baseline=None)
+        result = session.run(n_views=1)
+        record = result.records[0]
+        assert record.result is None
+        assert record.cycles > 0
+
+
+class TestStageCollection:
+    def test_collect_stages_sums_wall_clock(self):
+        session = RenderSession("lego", backend="hw:het+qm", baseline=None)
+        result = session.run(n_views=2, collect_stages=True)
+        stages = result.stage_ms
+        for key in ("preprocess", "rasterize", "render",
+                    "render:digest", "render:draw"):
+            assert stages[key] > 0, key
+        # Sub-stages nest inside their parent stage.
+        assert stages["render:digest"] + stages["render:draw"] \
+            <= stages["render"] * 1.05
+
+    def test_collect_stages_requires_serial(self):
+        session = RenderSession("lego", backend="hw:baseline", baseline=None)
+        with pytest.raises(ValueError, match="serial"):
+            session.run(n_views=2, jobs=2, collect_stages=True)
+
+    def test_raster_jobs_records_identical(self):
+        session = RenderSession("lego", backend="hw:baseline", baseline=None)
+        serial = session.run(n_views=2)
+        threaded = session.run(n_views=2, raster_jobs=2)
+        for a, b in zip(serial.records, threaded.records):
+            assert a.cycles == b.cycles
+            assert a.et_ratio == b.et_ratio

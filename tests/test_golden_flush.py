@@ -91,10 +91,13 @@ class TestGoldenEquivalence:
 
 
 class TestWarmCropCache:
-    def test_het_draws_share_cache(self, scene_stream):
-        """HET draws with a warm shared CROP cache stay exact per draw,
-        and both engines leave the shared cache in the identical state."""
-        cfg = variant_config("het")
+    @pytest.mark.parametrize("variant", sorted(VARIANTS))
+    def test_draws_share_cache(self, scene_stream, variant):
+        """Warm shared-CROP-cache draws stay exact per draw on every
+        variant, and both engines leave the shared cache in the identical
+        state (contents, LRU order and dirty bits) — the cross-frame
+        handoff the trajectory engine's warm mode relies on."""
+        cfg = variant_config(variant)
         cache_batched = LRUCache(cfg.crop_cache_kb * 1024,
                                  cfg.cache_line_bytes)
         cache_scalar = LRUCache(cfg.crop_cache_kb * 1024,
