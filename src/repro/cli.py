@@ -38,12 +38,14 @@ from repro.render.splat_raster import rasterize_splats
 from repro.workloads.catalog import (
     BENCH_SCENES,
     LARGE_SCALE_SCENES,
+    SCENARIO_SCENES,
     SCENES,
     build_scene,
     get_profile,
 )
 
-_ALL_SCENES = {**SCENES, **LARGE_SCALE_SCENES, **BENCH_SCENES}
+_ALL_SCENES = {**SCENES, **LARGE_SCALE_SCENES, **BENCH_SCENES,
+               **SCENARIO_SCENES}
 
 _EXPERIMENTS = (
     "fig01", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11",
@@ -64,12 +66,12 @@ _EXPERIMENT_MODULES = {
 }
 
 
-def _build_stream(scene_name, seed):
+def _build_stream(scene_name, seed, ir=None):
     profile = get_profile(scene_name)
     cloud = build_scene(profile, seed=seed)
     camera = profile.camera()
     pre = preprocess(cloud, camera)
-    stream = rasterize_splats(pre.splats, camera.width, camera.height)
+    stream = rasterize_splats(pre.splats, camera.width, camera.height, ir=ir)
     return profile, stream
 
 
@@ -94,7 +96,7 @@ def cmd_render(args):
 
 
 def cmd_simulate(args):
-    _profile, stream = _build_stream(args.scene, args.seed)
+    _profile, stream = _build_stream(args.scene, args.seed, ir=args.ir)
     if args.all:
         results = run_all_variants(stream)
         print(compare_variants(results))
@@ -110,7 +112,8 @@ def cmd_trajectory(args):
     session = RenderSession(
         args.scene, backend=args.backend, baseline=baseline,
         device=args.device, seed=args.seed,
-        warm_crop_cache=args.warm_crop_cache, result_cache=cache)
+        warm_crop_cache=args.warm_crop_cache, result_cache=cache,
+        ir=args.ir)
     trajectory = session.run(n_views=args.views, jobs=args.jobs,
                              raster_jobs=args.raster_jobs)
 
@@ -149,7 +152,7 @@ def cmd_bench(args):
     failures = 0
     for name in suites:
         run = run_suite(name, quick=args.quick, scene=args.scene,
-                        repeat=args.repeat)
+                        repeat=args.repeat, ir=args.ir)
         report = suite_report(run, baseline=baseline)
         rows = []
         for row in report["benchmarks"]:
@@ -229,6 +232,11 @@ def build_parser():
     simulate.add_argument("--all", action="store_true",
                           help="run and compare all four variants")
     simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--ir", default=None,
+                          choices=("auto", "frameir", "legacy"),
+                          help="digestion engine: FrameIR-backed (auto/"
+                               "frameir) or the legacy sort-based oracle "
+                               "(bit-identical; default $REPRO_IR or auto)")
 
     trajectory = sub.add_parser(
         "trajectory",
@@ -257,6 +265,10 @@ def build_parser():
                                  "(serial only)")
     trajectory.add_argument("--cache-dir", default=None,
                             help="on-disk trajectory result cache directory")
+    trajectory.add_argument("--ir", default=None,
+                            choices=("auto", "frameir", "legacy"),
+                            help="digestion engine (bit-identical; default "
+                                 "$REPRO_IR or auto)")
 
     bench = sub.add_parser(
         "bench", help="run a performance suite and write BENCH_<suite>.json")
@@ -281,6 +293,10 @@ def build_parser():
     bench.add_argument("--check-tolerance", type=float, default=0.5,
                        help="allowed slowdown before --check fails "
                             "(default 0.5 = 50%%)")
+    bench.add_argument("--ir", default=None,
+                       choices=("auto", "frameir", "legacy"),
+                       help="digestion engine the timed paths run under "
+                            "(bit-identical; default $REPRO_IR or auto)")
 
     experiment = sub.add_parser(
         "experiment", help="regenerate a paper table/figure")

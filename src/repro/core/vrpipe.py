@@ -31,6 +31,7 @@ from repro.hwmodel.config import GPUConfig, jetson_agx_orin
 from repro.hwmodel.pipeline import DrawWorkload, GraphicsPipeline
 from repro.hwmodel.prop import qru_storage_bytes
 from repro.hwmodel.tgc import TileGridCoalescer
+from repro.render.frameir import resolve_ir
 from repro.render.splat_raster import rasterize_splats
 from repro.swrender.renderer import SWKernelModel
 
@@ -58,15 +59,18 @@ def variant_config(variant, device=None, **overrides):
     return base.variant(enable_het=het, enable_qm=qm, **overrides)
 
 
-def run_variant(stream, variant, device=None, engine="batched", **overrides):
+def run_variant(stream, variant, device=None, engine="batched", ir=None,
+                **overrides):
     """Simulate one draw call under ``variant``; returns a DrawResult."""
     config = variant_config(variant, device, **overrides)
-    return GraphicsPipeline(config).draw(stream, engine=engine)
+    return GraphicsPipeline(config).draw(stream, engine=engine, ir=ir)
 
 
-def run_all_variants(stream, device=None, engine="batched", **overrides):
+def run_all_variants(stream, device=None, engine="batched", ir=None,
+                     **overrides):
     """Simulate all four variants on the same stream."""
-    return {name: run_variant(stream, name, device, engine=engine, **overrides)
+    return {name: run_variant(stream, name, device, engine=engine, ir=ir,
+                              **overrides)
             for name in VARIANTS}
 
 
@@ -173,9 +177,15 @@ class HardwareRenderer:
         Flush engine of the pipeline model: ``"batched"`` (default, the
         flush-plan engine) or ``"scalar"`` (the retained per-flush path);
         both are cycle- and stat-exact against each other.
+    ir:
+        Digestion mode (see :mod:`repro.render.frameir`): ``"auto"``
+        (default) digests streams off their FrameIR when they carry one,
+        ``"frameir"`` requires it, ``"legacy"`` keeps the sort-based
+        oracle path.  All modes are bit-identical.
     """
 
-    def __init__(self, config=None, kernel_model=None, engine="batched"):
+    def __init__(self, config=None, kernel_model=None, engine="batched",
+                 ir=None):
         self.config = config if config is not None else variant_config("het+qm")
         if not isinstance(self.config, GPUConfig):
             raise TypeError("config must be a GPUConfig")
@@ -185,6 +195,10 @@ class HardwareRenderer:
                 f"{GraphicsPipeline.ENGINES}")
         self.kernel_model = kernel_model or SWKernelModel()
         self.engine = engine
+        # Validate explicit knob values but keep ``None`` unresolved: the
+        # ``$REPRO_IR`` process default must stay best-effort (resolved at
+        # digestion time), not harden into a by-name requirement here.
+        self.ir = resolve_ir(ir) if ir is not None else None
 
     def render(self, cloud, camera, crop_cache=None):
         """Render a cloud; returns an :class:`HWRenderResult`.
@@ -200,7 +214,8 @@ class HardwareRenderer:
             raise TypeError(
                 f"camera must be a Camera, got {type(camera).__name__}")
         pre = preprocess(cloud, camera)
-        stream = rasterize_splats(pre.splats, camera.width, camera.height)
+        stream = rasterize_splats(pre.splats, camera.width, camera.height,
+                                  ir=self.ir)
         return self.render_stream(stream, pre, crop_cache=crop_cache)
 
     def render_stream(self, stream, pre=None, crop_cache=None):
@@ -217,7 +232,7 @@ class HardwareRenderer:
         preprocess_cycles = model.preprocess_cycles(n_gaussians, 0)
         sort_cycles = model.sort_cycles(n_visible)
         t0 = time.perf_counter()
-        workload = DrawWorkload.from_stream(stream, self.config)
+        workload = DrawWorkload.from_stream(stream, self.config, ir=self.ir)
         t1 = time.perf_counter()
         draw = GraphicsPipeline(self.config).draw(workload,
                                                   crop_cache=crop_cache,

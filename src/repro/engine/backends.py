@@ -30,6 +30,7 @@ from repro.gaussians.preprocess import preprocess
 from repro.hwmodel.caches import LRUCache
 from repro.hwmodel.config import jetson_agx_orin, rtx_3090
 from repro.render.fragstream import DEFAULT_TERMINATION_ALPHA
+from repro.render.frameir import resolve_ir
 from repro.render.splat_raster import rasterize_splats
 from repro.swrender.renderer import CudaRenderer, SWKernelModel
 
@@ -131,16 +132,18 @@ class HardwareBackend:
 
     ``engine`` selects the pipeline's flush engine: the batched flush-plan
     engine (default) or the retained scalar per-flush path — both produce
-    cycle- and stat-identical results.
+    cycle- and stat-identical results.  ``ir`` selects the digestion path
+    (FrameIR-backed or the legacy sort-based oracle, see
+    :mod:`repro.render.frameir`) — likewise bit-identical.
     """
 
-    def __init__(self, spec, variant, device, engine="batched"):
+    def __init__(self, spec, variant, device, engine="batched", ir=None):
         self.spec = spec
         self.variant = variant
         self.config = variant_config(variant, device)
         self.renderer = HardwareRenderer(
             config=self.config, kernel_model=device_kernel_model(device),
-            engine=engine)
+            engine=engine, ir=ir)
 
     def render(self, cloud, camera, crop_cache=None):
         res = self.renderer.render(cloud, camera, crop_cache=crop_cache)
@@ -216,13 +219,16 @@ class CudaBackend:
 class ReferenceBackend:
     """Ground-truth blender: functional output only, no timing model."""
 
-    def __init__(self, spec, device=None):
+    def __init__(self, spec, device=None, ir=None):
         self.spec = spec
+        # None stays None so the $REPRO_IR default remains best-effort.
+        self.ir = resolve_ir(ir) if ir is not None else None
 
     def render(self, cloud, camera, crop_cache=None):
         self._check_no_cache(crop_cache)
         pre = preprocess(cloud, camera)
-        stream = rasterize_splats(pre.splats, camera.width, camera.height)
+        stream = rasterize_splats(pre.splats, camera.width, camera.height,
+                                  ir=self.ir)
         return self.render_stream(stream, pre)
 
     def render_stream(self, stream, pre=None, crop_cache=None):
@@ -250,7 +256,7 @@ _REGISTRY = {}
 
 
 def register_backend(spec, factory):
-    """Register ``factory(spec, device) -> backend`` under ``spec``."""
+    """Register ``factory(spec, device, ir=None) -> backend`` under ``spec``."""
     if spec in _REGISTRY:
         raise ValueError(f"backend {spec!r} is already registered")
     _REGISTRY[spec] = factory
@@ -278,7 +284,8 @@ def backend_spec(spec_or_backend):
         f"'spec' attribute, got {type(spec_or_backend).__name__}")
 
 
-def resolve_backend(spec_or_backend, device=None, device_name="orin"):
+def resolve_backend(spec_or_backend, device=None, device_name="orin",
+                    ir=None):
     """Return a backend instance for a spec string *or* a ready instance.
 
     Backend instances (anything implementing :class:`RendererBackend`)
@@ -288,14 +295,16 @@ def resolve_backend(spec_or_backend, device=None, device_name="orin"):
             spec_or_backend, "render_stream"):
         return spec_or_backend
     return create_backend(backend_spec(spec_or_backend), device=device,
-                          device_name=device_name)
+                          device_name=device_name, ir=ir)
 
 
-def create_backend(spec, device=None, device_name="orin"):
+def create_backend(spec, device=None, device_name="orin", ir=None):
     """Instantiate the backend registered under ``spec``.
 
     ``device`` (a :class:`~repro.hwmodel.config.GPUConfig`) overrides the
-    ``device_name`` preset.
+    ``device_name`` preset.  ``ir`` sets the backend's digestion mode
+    (see :mod:`repro.render.frameir`; ignored by backends that never
+    digest quads).
     """
     try:
         factory = _REGISTRY[spec]
@@ -305,20 +314,24 @@ def create_backend(spec, device=None, device_name="orin"):
         ) from None
     if device is None:
         device = make_device(device_name)
-    return factory(spec, device)
+    return factory(spec, device, ir=ir)
 
 
 def _register_defaults():
     for variant in VARIANTS:
         register_backend(
             f"hw:{variant}",
-            lambda spec, device, v=variant: HardwareBackend(spec, v, device))
+            lambda spec, device, ir=None, v=variant: HardwareBackend(
+                spec, v, device, ir=ir))
     register_backend(
-        "cuda", lambda spec, device: CudaBackend(spec, device, early_term=False))
+        "cuda", lambda spec, device, ir=None: CudaBackend(
+            spec, device, early_term=False))
     register_backend(
-        "cuda+et", lambda spec, device: CudaBackend(spec, device, early_term=True))
+        "cuda+et", lambda spec, device, ir=None: CudaBackend(
+            spec, device, early_term=True))
     register_backend(
-        "reference", lambda spec, device: ReferenceBackend(spec, device))
+        "reference", lambda spec, device, ir=None: ReferenceBackend(
+            spec, device, ir=ir))
 
 
 _register_defaults()

@@ -27,6 +27,7 @@ from repro.engine import cache as engine_cache
 from repro.engine.backends import backend_spec, resolve_backend
 from repro.engine.executor import frame_seed, run_frames
 from repro.gaussians.preprocess import preprocess
+from repro.render.frameir import resolve_ir
 from repro.render.splat_raster import rasterize_splats
 from repro.workloads.catalog import SceneProfile, build_scene, get_profile
 from repro.workloads.viewpoints import scene_viewpoints
@@ -198,11 +199,17 @@ class RenderSession:
     result_cache:
         Optional :class:`~repro.engine.cache.ResultCache`; trajectory
         runs are served from disk on a content-key hit.
+    ir:
+        Digestion mode shared by the session's rasterisation and both
+        backends (``"auto"`` / ``"frameir"`` / ``"legacy"``, see
+        :mod:`repro.render.frameir`).  Every mode produces bit-identical
+        frames — the knob only selects which digestion engine runs — so
+        the disk cache key is deliberately ``ir``-agnostic.
     """
 
     def __init__(self, scene, backend="hw:het+qm", baseline="auto",
                  device="orin", seed=0, warm_crop_cache=False,
-                 result_cache=None):
+                 result_cache=None, ir=None):
         self.profile = (scene if isinstance(scene, SceneProfile)
                         else get_profile(scene))
         # Specs are normalised once here: ``backend``/``baseline`` may be
@@ -217,14 +224,18 @@ class RenderSession:
         self.backend_spec = backend_spec(backend)
         self.device_name = device
         self.seed = int(seed)
-        self.backend = resolve_backend(backend, device_name=device)
+        # None stays None so the $REPRO_IR default remains best-effort.
+        self.ir = resolve_ir(ir) if ir is not None else None
+        self.backend = resolve_backend(backend, device_name=device,
+                                       ir=self.ir)
         if baseline == "auto":
             spec = self.backend_spec
             baseline = ("hw:baseline"
                         if spec.startswith("hw:") and spec != "hw:baseline"
                         else None)
         self.baseline_spec = backend_spec(baseline) if baseline else None
-        self.baseline = (resolve_backend(baseline, device_name=device)
+        self.baseline = (resolve_backend(baseline, device_name=device,
+                                         ir=self.ir)
                          if baseline else None)
         self.warm_crop_cache = bool(warm_crop_cache)
         self.result_cache = result_cache
@@ -323,7 +334,8 @@ class RenderSession:
             pre = preprocess(cloud, task.camera)
             t1 = time.perf_counter()
             stream = rasterize_splats(pre.splats, task.camera.width,
-                                      task.camera.height, jobs=raster_jobs)
+                                      task.camera.height, jobs=raster_jobs,
+                                      ir=self.ir)
             t2 = time.perf_counter()
             frame = self.backend.render_stream(stream, pre,
                                                crop_cache=crop_cache)

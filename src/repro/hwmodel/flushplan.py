@@ -15,7 +15,11 @@ The engine runs in two phases:
     ranges into subranges) via :class:`~repro.hwmodel.tc.RangeTileCoalescer`
     — and, for QM variants, :meth:`~repro.hwmodel.tgc.TileGridCoalescer.
     plan_groups` — producing a :class:`FlushPlan`: flat per-flush
-    ``tile``/``reason`` arrays plus row-segment offsets.
+    ``tile``/``reason`` arrays plus row-segment offsets.  The (prim,
+    tile) and (prim, grid) ranges it iterates come from the workload,
+    which reads them straight off the stream's
+    :class:`~repro.render.frameir.FrameIR` when one is present (chunklet
+    runs of the raster structure) instead of per-quad reductions.
 
 :func:`execute_flush_plan`
     Runs the ZROP termination test, QRU pair planning, SM shading, PROP and

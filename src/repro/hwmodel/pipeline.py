@@ -87,17 +87,21 @@ class DrawWorkload:
         return self._term_tags
 
     @classmethod
-    def from_stream(cls, stream, config):
+    def from_stream(cls, stream, config, ir=None):
         """Build a workload from a fragment stream under ``config``.
 
         The termination threshold baked into the quad table follows
-        ``config.termination_alpha``.
+        ``config.termination_alpha``.  ``ir`` selects the digestion path
+        (see :mod:`repro.render.frameir`): on streams carrying a FrameIR
+        the quad table and its (prim, tile) group ranges come off the IR
+        with no fragment-level sort; ``ir="legacy"`` forces the original
+        sort-based digestion.  Both produce bit-identical workloads.
         """
         if not isinstance(stream, FragmentStream):
             raise TypeError(
                 f"stream must be a FragmentStream, got {type(stream).__name__}")
         lag = config.het_inflight_lag if config.enable_het else 0
-        quads = stream.quad_table(config.termination_alpha, lag)
+        quads = stream.quad_table(config.termination_alpha, lag, ir=ir)
         n_prims = stream.prim_colors.shape[0]
         # Pixels whose accumulated alpha saturates generate exactly one
         # termination update each (the CROP alpha test's double-sided
@@ -134,23 +138,36 @@ class DrawWorkload:
             self.prim_group_ranges = {}
             self._prim_grids = {}
             return
-        combined = quads.prim_ids * self.n_tiles + quads.tile_ids
-        if np.any(np.diff(combined) < 0):
-            raise ValueError("quad table is not sorted by (prim, tile)")
-        starts = segment_boundaries(combined)
-        ends = np.concatenate((starts[1:], [n_quads]))
-        self.group_starts = starts
-        self.group_ends = ends
-        self.group_prim = quads.prim_ids[starts]
-        self.group_tile = quads.tile_ids[starts]
-        self.group_grid = quads.grid_ids[starts]
-        self.group_n_quads = ends - starts
-        # Raster tiles (8x8 px = 4x4 quads) within the 16x16 tile: 2x2
-        # possibilities; a bitmask OR-reduce counts the distinct ones.
-        rt_index = ((quads.qpos // 8) // 4) * 2 + (quads.qpos % 8) // 4
-        rt_bit = np.left_shift(1, rt_index.astype(np.int64))
-        rt_mask = np.bitwise_or.reduceat(rt_bit, starts)
-        self.group_n_rtiles = popcount4(rt_mask)
+        ir_groups = getattr(quads, "ir_groups", None)
+        if ir_groups is not None:
+            # The stream's FrameIR already derived the (prim, tile) group
+            # ranges from the raster structure (bit-identical to the
+            # reductions below; sortedness holds by construction).
+            self.group_starts = ir_groups.starts
+            self.group_ends = ir_groups.ends
+            self.group_prim = ir_groups.prim
+            self.group_tile = ir_groups.tile
+            self.group_grid = ir_groups.grid
+            self.group_n_quads = ir_groups.ends - ir_groups.starts
+            self.group_n_rtiles = ir_groups.n_rtiles
+        else:
+            combined = quads.prim_ids * self.n_tiles + quads.tile_ids
+            if np.any(np.diff(combined) < 0):
+                raise ValueError("quad table is not sorted by (prim, tile)")
+            starts = segment_boundaries(combined)
+            ends = np.concatenate((starts[1:], [n_quads]))
+            self.group_starts = starts
+            self.group_ends = ends
+            self.group_prim = quads.prim_ids[starts]
+            self.group_tile = quads.tile_ids[starts]
+            self.group_grid = quads.grid_ids[starts]
+            self.group_n_quads = ends - starts
+            # Raster tiles (8x8 px = 4x4 quads) within the 16x16 tile: 2x2
+            # possibilities; a bitmask OR-reduce counts the distinct ones.
+            rt_index = ((quads.qpos // 8) // 4) * 2 + (quads.qpos % 8) // 4
+            rt_bit = np.left_shift(1, rt_index.astype(np.int64))
+            rt_mask = np.bitwise_or.reduceat(rt_bit, starts)
+            self.group_n_rtiles = popcount4(rt_mask)
 
         # Per-primitive ranges over the group arrays.
         prim_starts = segment_boundaries(self.group_prim)
@@ -291,7 +308,7 @@ class GraphicsPipeline:
     # ------------------------------------------------------------------
 
     def draw(self, workload_or_stream, crop_cache=None, trace=None,
-             engine="batched"):
+             engine="batched", ir=None):
         """Simulate one draw call; returns a :class:`DrawResult`.
 
         ``crop_cache`` optionally shares a warm CROP cache across draws
@@ -300,12 +317,16 @@ class GraphicsPipeline:
         :class:`~repro.hwmodel.trace.DrawTrace`.  ``engine`` selects the
         batched flush-plan engine (default) or the scalar per-flush path;
         both are cycle-, stat- and trace-exact against each other.
+        ``ir`` picks the digestion path when a raw stream is passed (see
+        :meth:`DrawWorkload.from_stream`); the two paths are likewise
+        bit-identical.
         """
         if engine not in self.ENGINES:
             raise ValueError(
                 f"unknown engine {engine!r}; choose from {self.ENGINES}")
         if isinstance(workload_or_stream, FragmentStream):
-            workload = DrawWorkload.from_stream(workload_or_stream, self.config)
+            workload = DrawWorkload.from_stream(workload_or_stream,
+                                                self.config, ir=ir)
         elif isinstance(workload_or_stream, DrawWorkload):
             workload = workload_or_stream
         else:

@@ -16,6 +16,12 @@ materialises row arrays per flush and the range-level
 :class:`RangeTileCoalescer` planner — share one timeout code path
 (:class:`TimeoutTracker`), so the ``tc_flush_timeout`` accounting cannot
 drift between the scalar and batched engines.
+
+The (tile, start, end) group sequences both flavours consume are the
+workload's (prim, tile) ranges — derived from the stream's
+:class:`~repro.render.frameir.FrameIR` chunklet runs when present, or
+from the legacy quad-table reductions — so the planners themselves never
+touch per-fragment data.
 """
 
 from __future__ import annotations

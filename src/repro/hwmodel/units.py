@@ -4,6 +4,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.utils.arrays import popcount4
+
+__all__ = ["WARP_SIZE", "QUAD_THREADS", "QUADS_PER_WARP", "ceil_div",
+           "warps_for_quads", "as_index_array", "popcount4"]
+
 #: Threads per warp on the modelled GPU.
 WARP_SIZE = 32
 
@@ -42,10 +47,3 @@ def as_index_array(values, dtype=np.int64):
     if not hasattr(values, "__len__"):
         values = list(values)
     return np.asarray(values, dtype=dtype).reshape(len(values))
-
-
-def popcount4(masks):
-    """Population count of 4-bit coverage masks (vectorised)."""
-    masks = np.asarray(masks)
-    return ((masks & 1) + ((masks >> 1) & 1)
-            + ((masks >> 2) & 1) + ((masks >> 3) & 1))

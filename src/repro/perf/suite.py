@@ -91,7 +91,7 @@ def _assert_identical(a, b):
             "be comparing different work")
 
 
-def _suite_rasterize(quick, scene=None, repeat=None):
+def _suite_rasterize(quick, scene=None, repeat=None, ir=None):
     scene = scene or ("lego" if quick else "bench")
     repeat = repeat or (2 if quick else 5)
     _, camera, pre = _splats_for(scene)
@@ -100,7 +100,7 @@ def _suite_rasterize(quick, scene=None, repeat=None):
     # Both paths get the *same* warmup so the speedup ratio compares
     # steady-state against steady-state even in quick mode.
     warmup = 0 if quick else 1
-    batched = time_callable(lambda: rasterize_splats(pre.splats, w, h),
+    batched = time_callable(lambda: rasterize_splats(pre.splats, w, h, ir=ir),
                             warmup=warmup, repeat=repeat,
                             name="rasterize/batched")
     scalar = time_callable(lambda: rasterize_splats_scalar(pre.splats, w, h),
@@ -125,7 +125,7 @@ def _suite_rasterize(quick, scene=None, repeat=None):
     ]
 
 
-def _suite_reference(quick, scene=None, repeat=None):
+def _suite_reference(quick, scene=None, repeat=None, ir=None):
     from repro.render.reference import render_reference
 
     scene = scene or ("lego" if quick else "train")
@@ -157,7 +157,7 @@ def _assert_draws_identical(a, b):
             "would be comparing different work")
 
 
-def _suite_hw(quick, scene=None, repeat=None):
+def _suite_hw(quick, scene=None, repeat=None, ir=None):
     from repro.core.vrpipe import variant_config
     from repro.hwmodel.pipeline import DrawWorkload, GraphicsPipeline
 
@@ -166,14 +166,15 @@ def _suite_hw(quick, scene=None, repeat=None):
     variants = ("baseline", "het+qm") if quick else ("baseline", "qm",
                                                      "het", "het+qm")
     _, camera, pre = _splats_for(scene)
-    stream = rasterize_splats(pre.splats, camera.width, camera.height)
+    stream = rasterize_splats(pre.splats, camera.width, camera.height, ir=ir)
     n = len(stream)
 
     results = []
     cfg_full = variant_config("het+qm")
-    digest = time_callable(lambda: DrawWorkload.from_stream(stream, cfg_full),
-                           warmup=0 if quick else 1, repeat=repeat,
-                           name="hw/digest")
+    digest = time_callable(
+        lambda: DrawWorkload.from_stream(stream, cfg_full, ir=ir),
+        warmup=0 if quick else 1, repeat=repeat,
+        name="hw/digest")
     results.append(BenchResult(digest, scene, {
         "fragments": n, "fragments_per_sec": digest.per_second(n)}))
     for variant in variants:
@@ -222,7 +223,7 @@ def _stage_breakdown(session, n_views):
             for name, ms in sorted(result.stage_ms.items())}
 
 
-def _suite_trajectory(quick, scene=None, repeat=None):
+def _suite_trajectory(quick, scene=None, repeat=None, ir=None):
     """End-to-end multi-frame trajectories, per hardware variant.
 
     The headline suite of the hardware model: each benchmark renders a
@@ -230,38 +231,52 @@ def _suite_trajectory(quick, scene=None, repeat=None):
     simulate every frame — through one variant, cold, plus warm-CROP-cache
     rows (serial by contract) for the cache-carrying endpoints.  Rows
     report frames/s and a wall-clock per-stage breakdown, so
-    ``BENCH_trajectory.json`` doubles as the repo's hotspot map.
+    ``BENCH_trajectory.json`` doubles as the repo's hotspot map; the
+    ``stage_render:digest`` column measures whichever digestion engine
+    ``ir`` selects (the FrameIR path by default).
+
+    Quick mode trades the variant sweep for *scenario* coverage: the
+    ``lego`` orbit plus the sparse ``aerial`` and dense ``garden``
+    profiles, two variants each.  Rows for non-default scenes carry the
+    scene in their benchmark name so reports stay comparable row-by-row.
     """
     from repro.engine.session import RenderSession
 
-    scene = scene or "lego"
     repeat = repeat or (1 if quick else 3)
     n_views = 2 if quick else 4
+    if scene is not None:
+        scenes = [scene]
+    else:
+        scenes = ["lego", "aerial", "garden"] if quick else ["lego"]
     cold_variants = ("baseline", "het+qm") if quick else (
         "baseline", "qm", "het", "het+qm")
     warm_variants = () if quick else ("baseline", "het+qm")
 
     results = []
-    for variant, warm in ([(v, False) for v in cold_variants]
-                          + [(v, True) for v in warm_variants]):
-        session = RenderSession(scene, backend=f"hw:{variant}",
-                                baseline=None, warm_crop_cache=warm)
-        mode = "warm" if warm else "cold"
-        timing = time_callable(
-            lambda s=session: s.run(n_views=n_views),
-            warmup=0 if quick else 1, repeat=repeat,
-            name=f"trajectory/{variant}:{mode}")
-        metrics = {
-            "frames": n_views,
-            "ms_per_frame": timing.median_ms / n_views,
-            "frames_per_sec": timing.per_second(n_views),
-        }
-        metrics.update(_stage_breakdown(session, n_views))
-        results.append(BenchResult(timing, scene, metrics))
+    for scene_name in scenes:
+        for variant, warm in ([(v, False) for v in cold_variants]
+                              + [(v, True) for v in warm_variants]):
+            session = RenderSession(scene_name, backend=f"hw:{variant}",
+                                    baseline=None, warm_crop_cache=warm,
+                                    ir=ir)
+            mode = "warm" if warm else "cold"
+            prefix = ("trajectory" if scene_name == "lego"
+                      else f"trajectory/{scene_name}")
+            timing = time_callable(
+                lambda s=session: s.run(n_views=n_views),
+                warmup=0 if quick else 1, repeat=repeat,
+                name=f"{prefix}/{variant}:{mode}")
+            metrics = {
+                "frames": n_views,
+                "ms_per_frame": timing.median_ms / n_views,
+                "frames_per_sec": timing.per_second(n_views),
+            }
+            metrics.update(_stage_breakdown(session, n_views))
+            results.append(BenchResult(timing, scene_name, metrics))
     return results
 
 
-#: Suite registry: name -> callable(quick, scene=None, repeat=None).
+#: Suite registry: name -> callable(quick, scene=None, repeat=None, ir=None).
 SUITES = {
     "rasterize": _suite_rasterize,
     "reference": _suite_reference,
@@ -270,11 +285,13 @@ SUITES = {
 }
 
 
-def run_suite(name, quick=False, scene=None, repeat=None):
+def run_suite(name, quick=False, scene=None, repeat=None, ir=None):
     """Run the suite registered under ``name`` and return a :class:`SuiteRun`.
 
     ``scene`` and ``repeat`` override the suite defaults (``repeat`` must
-    be >= 1 when given); ``quick`` selects the CI-sized variant.
+    be >= 1 when given); ``quick`` selects the CI-sized variant.  ``ir``
+    selects the digestion engine the timed paths run under (see
+    :mod:`repro.render.frameir`).
     """
     try:
         suite = SUITES[name]
@@ -283,4 +300,5 @@ def run_suite(name, quick=False, scene=None, repeat=None):
             f"unknown suite {name!r}; available: {sorted(SUITES)}") from None
     if repeat is not None and repeat < 1:
         raise ValueError(f"repeat must be >= 1, got {repeat}")
-    return SuiteRun(name, quick, suite(quick, scene=scene, repeat=repeat))
+    return SuiteRun(name, quick, suite(quick, scene=scene, repeat=repeat,
+                                       ir=ir))

@@ -16,6 +16,7 @@ from repro.render.blending import (
     front_to_back_blend,
     premultiply,
 )
+from repro.render.frameir import IR_MODES, FrameIR, resolve_ir
 from repro.render.splat_raster import (
     TileBinning,
     rasterize_splats,
@@ -36,7 +37,10 @@ __all__ = [
     "rasterize_splats_scalar",
     "TileBinning",
     "FragmentStream",
+    "FrameIR",
+    "IR_MODES",
     "QuadTable",
+    "resolve_ir",
     "RenderResult",
     "render_reference",
     "image_report",

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.render.frameir import resolve_ir
 from repro.utils.arrays import segment_boundaries, segmented_cumsum
 
 #: Default early-termination threshold on accumulated alpha (paper: 0.996).
@@ -55,10 +56,20 @@ class FragmentStream:
         the rasteriser's splat-to-screen-tile pairs, so downstream
         consumers (CUDA tile duplication, the hardware tile coalescers)
         reuse the binning instead of re-deriving it.
+    frameir:
+        Optional :class:`~repro.render.frameir.FrameIR` carrying the
+        rasteriser's row-interval structure; when present (and the ``ir``
+        mode allows it) the quad table and (prim, tile) group ranges are
+        derived from it instead of re-sorted from the fragments —
+        bit-identically.
+    ir:
+        Default digestion mode for this stream (``"auto"`` / ``"frameir"``
+        / ``"legacy"``, see :mod:`repro.render.frameir`); ``None`` follows
+        the process default.
     """
 
     def __init__(self, prim_ids, x, y, alphas, prim_colors, width, height,
-                 binning=None, validate=True):
+                 binning=None, validate=True, frameir=None, ir=None):
         self.prim_ids = np.asarray(prim_ids, dtype=np.int32)
         self.x = np.asarray(x, dtype=np.int32)
         self.y = np.asarray(y, dtype=np.int32)
@@ -82,6 +93,8 @@ class FragmentStream:
                 raise ValueError(
                     "fragment coordinates fall outside the framebuffer")
         self.binning = binning
+        self.frameir = frameir
+        self.ir = ir
         self._cache = {}
 
     # ------------------------------------------------------------------
@@ -147,24 +160,26 @@ class FragmentStream:
             self._cache["pixel_starts"] = segment_boundaries(pix_sorted)
         return self._cache["pixel_starts"]
 
-    @property
-    def arrival_alpha(self):
-        """Per-fragment accumulated pixel alpha at the fragment's arrival.
+    def _ensure_arrival_sorted(self):
+        """Materialise the pixel-sorted arrival caches (no fragment-order
+        scatter).
 
-        For fragment ``i`` of pixel ``p`` this is
-        ``1 - prod_{j earlier unpruned at p} (1 - alpha_j)``; pruned
-        fragments contribute nothing but still *have* an arrival state.
-        This quantity decides perfect fragment-level early termination:
-        a fragment is blended iff it is unpruned and
-        ``arrival_alpha < threshold``.
+        Populates ``pix_sorted``, ``pixel_starts``, ``alpha_eff_sorted``
+        (per-fragment effective alpha — zero when pruned) and
+        ``arrival_sorted`` in the pixel-sorted domain.  Every consumer —
+        :attr:`arrival_alpha`, :attr:`accumulated_alpha`, the termination
+        masks, the HET rank structure — shares these caches instead of
+        re-running the exp/log chain, and only :attr:`arrival_alpha`
+        itself pays for the scatter back to fragment order.
         """
-        if "arrival_alpha" not in self._cache:
+        if "arrival_sorted" not in self._cache:
             order = self._pixel_order
             pix_sorted = self.pixel_ids[order]
-            # Gather the narrow arrays first, widen after: same values as
-            # ``where(...)[order].astype(float64)``, fewer float64 passes.
-            alpha_eff = np.where(self.unpruned[order],
-                                 self.alphas[order], np.float32(0.0))
+            # Effective alphas in emission order first, then one gather —
+            # identical values to gathering ``unpruned``/``alphas``
+            # separately, one fewer full-width gather.
+            alpha_eff = np.where(self.unpruned, self.alphas,
+                                 np.float32(0.0))[order]
             starts = self._pixel_starts(pix_sorted)
             logs = alpha_eff.astype(np.float64)
             np.subtract(1.0, logs, out=logs)
@@ -178,9 +193,25 @@ class FragmentStream:
             exclusive_log_t = inclusive - logs
             arrival_sorted = np.exp(exclusive_log_t, out=exclusive_log_t)
             np.subtract(1.0, arrival_sorted, out=arrival_sorted)
-            arrival = np.empty(len(self), dtype=np.float64)
-            arrival[order] = arrival_sorted
+            self._cache["pix_sorted"] = pix_sorted
+            self._cache["alpha_eff_sorted"] = alpha_eff
             self._cache["arrival_sorted"] = arrival_sorted
+
+    @property
+    def arrival_alpha(self):
+        """Per-fragment accumulated pixel alpha at the fragment's arrival.
+
+        For fragment ``i`` of pixel ``p`` this is
+        ``1 - prod_{j earlier unpruned at p} (1 - alpha_j)``; pruned
+        fragments contribute nothing but still *have* an arrival state.
+        This quantity decides perfect fragment-level early termination:
+        a fragment is blended iff it is unpruned and
+        ``arrival_alpha < threshold``.
+        """
+        if "arrival_alpha" not in self._cache:
+            self._ensure_arrival_sorted()
+            arrival = np.empty(len(self), dtype=np.float64)
+            arrival[self._pixel_order] = self._cache["arrival_sorted"]
             self._cache["arrival_alpha"] = arrival
         return self._cache["arrival_alpha"]
 
@@ -192,7 +223,20 @@ class FragmentStream:
         """
         key = ("et_survivor", round(float(threshold), 9))
         if key not in self._cache:
-            self._cache[key] = self.unpruned & (self.arrival_alpha < threshold)
+            if "arrival_alpha" in self._cache:
+                mask = self.unpruned & (self.arrival_alpha < threshold)
+            else:
+                # Same mask built in the pixel-sorted domain and scattered
+                # once: ``alpha_eff > 0`` is exactly the unpruned predicate
+                # (unpruned alphas are >= 1/255) and the sorted arrival
+                # values are the same doubles the fragment-order compare
+                # would see.
+                self._ensure_arrival_sorted()
+                mask_sorted = ((self._cache["alpha_eff_sorted"] > 0)
+                               & (self._cache["arrival_sorted"] < threshold))
+                mask = np.empty(len(self), dtype=bool)
+                mask[self._pixel_order] = mask_sorted
+            self._cache[key] = mask
         return self._cache[key]
 
     def unterminated_on_arrival(self, threshold=DEFAULT_TERMINATION_ALPHA,
@@ -211,7 +255,16 @@ class FragmentStream:
         key = ("unterminated", round(float(threshold), 9), int(lag))
         if key not in self._cache:
             if lag == 0:
-                self._cache[key] = self.arrival_alpha < threshold
+                if "arrival_alpha" in self._cache:
+                    self._cache[key] = self.arrival_alpha < threshold
+                else:
+                    # Compare in the sorted domain, scatter the boolean
+                    # once — same doubles, same mask, no float64 scatter.
+                    self._ensure_arrival_sorted()
+                    out = np.empty(len(self), dtype=bool)
+                    out[self._pixel_order] = (
+                        self._cache["arrival_sorted"] < threshold)
+                    self._cache[key] = out
             else:
                 # Compare in the pixel-sorted domain (local ranks against
                 # the pixel's termination rank) and scatter the boolean
@@ -250,9 +303,9 @@ class FragmentStream:
         """
         key = ("pixel_ranks_sorted", round(float(threshold), 9))
         if key not in self._cache:
-            self.arrival_alpha  # materialise the sorted-domain cache
+            self._ensure_arrival_sorted()
             order = self._pixel_order
-            pix_sorted = self.pixel_ids[order]
+            pix_sorted = self._cache["pix_sorted"]
             starts = self._pixel_starts(pix_sorted)
             lengths = np.diff(np.concatenate((starts, [len(self)])))
             local = np.arange(len(self), dtype=np.int64) - np.repeat(starts, lengths)
@@ -302,11 +355,22 @@ class FragmentStream:
         entirely and is cached, so consumers that only need termination
         state (e.g. :meth:`~repro.hwmodel.pipeline.DrawWorkload.
         from_stream`) never pay for a full re-blend.
+
+        Computed straight from the pixel-sorted arrival caches: the blend
+        weights are formed in the sorted domain (``alpha_eff`` is zero for
+        pruned fragments, so the ``where(blended, ...)`` select is the
+        multiplication itself) and summed with a bincount over the sorted
+        stream — each pixel's partial sums still accumulate in emission
+        order, so the result is bit-identical to the fragment-order blend
+        while skipping the arrival scatter entirely.
         """
         if "accumulated_alpha" not in self._cache:
-            weights = self._blend_weights(False, DEFAULT_TERMINATION_ALPHA)
+            self._ensure_arrival_sorted()
+            weights = ((1.0 - self._cache["arrival_sorted"])
+                       * self._cache["alpha_eff_sorted"].astype(np.float64))
             self._cache["accumulated_alpha"] = np.bincount(
-                self.pixel_ids, weights=weights, minlength=self.n_pixels)
+                self._cache["pix_sorted"], weights=weights,
+                minlength=self.n_pixels)
         return self._cache["accumulated_alpha"]
 
     def blend_image(self, early_term=False, threshold=DEFAULT_TERMINATION_ALPHA):
@@ -382,15 +446,39 @@ class FragmentStream:
     # Quad / tile structure
     # ------------------------------------------------------------------
 
-    def quad_table(self, threshold=DEFAULT_TERMINATION_ALPHA, lag=0):
+    def quad_table(self, threshold=DEFAULT_TERMINATION_ALPHA, lag=0, ir=None):
         """Aggregate fragments into 2x2 quads (see :class:`QuadTable`).
 
         ``lag`` selects the HET in-flight window baked into the table's
-        termination masks (see :meth:`unterminated_on_arrival`).
+        termination masks (see :meth:`unterminated_on_arrival`).  ``ir``
+        overrides the stream's digestion mode (see :mod:`repro.render.
+        frameir`): with ``"auto"``/``"frameir"`` and a stream carrying a
+        :class:`~repro.render.frameir.FrameIR`, the table materialises
+        from the IR's precomputed quad grouping; ``"legacy"`` forces the
+        original sort-based construction.  Both paths are bit-identical
+        (fuzz-pinned by ``tests/test_frameir.py``).
         """
-        key = ("quad_table", round(float(threshold), 9), int(lag))
+        explicit = ir if ir is not None else self.ir
+        mode = resolve_ir(explicit)
+        if mode == "frameir" and self.frameir is None:
+            # Strict only when the caller (or the stream's producer) asked
+            # for the IR by name; the ``$REPRO_IR=frameir`` process
+            # default stays best-effort so hand-built and scalar-emitted
+            # streams keep digesting through the legacy path.
+            if explicit is not None:
+                raise ValueError(
+                    "ir='frameir' requires a stream carrying a FrameIR "
+                    "(emitted by rasterize_splats); this stream has none")
+            mode = "auto"
+        use_ir = mode != "legacy" and self.frameir is not None
+        key = ("quad_table", round(float(threshold), 9), int(lag),
+               "frameir" if use_ir else "legacy")
         if key not in self._cache:
-            self._cache[key] = QuadTable.from_stream(self, threshold, lag)
+            if use_ir:
+                self._cache[key] = QuadTable.from_ir(self, self.frameir,
+                                                     threshold, lag)
+            else:
+                self._cache[key] = QuadTable.from_stream(self, threshold, lag)
         return self._cache[key]
 
 
@@ -429,6 +517,8 @@ class _QuadColumnBuilder:
             flags = stream.het_blended_mask(self.threshold, self.lag)
         else:
             flags = stream.unterminated_on_arrival(self.threshold, self.lag)
+        if self.order is None:
+            return flags.view(np.uint8)
         return flags[self.order].view(np.uint8)
 
     def column(self, name):
@@ -446,6 +536,43 @@ class _QuadColumnBuilder:
             per_quad = np.bitwise_or.reduceat(
                 self._bits() * self._fragment_flags(name), self.starts)
         return per_quad[self.emit].astype(np.int64)
+
+
+class _IRQuadColumnBuilder(_QuadColumnBuilder):
+    """Columns served from the FrameIR's quad view.
+
+    Metadata columns come straight from :meth:`~repro.render.frameir.
+    QuadIR.meta`; aggregates reduce over the per-quad fragment *slots*
+    (:meth:`~repro.render.frameir.QuadIR.slots`) — up to four direct
+    emission-stream offsets per quad, combined with padded gathers, so
+    there is no ``order`` gather and no fragment sort.  All aggregates
+    are integer sums or bitwise ORs, so the regrouped reduction is
+    exactly the per-quad value the legacy builder computes.
+    """
+
+    def __init__(self, stream, threshold, lag, ir_quads):
+        super().__init__(stream, threshold, lag, order=None, starts=None,
+                         emit=None)
+        self.ir_quads = ir_quads
+
+    def _bits(self):
+        """Coverage bit (y & 1) * 2 + (x & 1) per *emission* fragment."""
+        if self._bit is None:
+            stream = self.stream
+            shift = ((stream.y & 1) * 2 + (stream.x & 1)).astype(np.uint8)
+            self._bit = np.left_shift(np.uint8(1), shift)
+        return self._bit
+
+    def column(self, name):
+        if name in QuadTable._META_COLUMNS:
+            return self.ir_quads.meta()[name]
+        if name == "n_fragments":
+            return self.ir_quads.frag_counts()
+        if name.startswith("n_"):
+            return self.ir_quads.reduce_add(
+                self._fragment_flags(name).astype(np.int32))
+        return self.ir_quads.reduce_or(
+            self._bits() * self._fragment_flags(name))
 
 
 class QuadTable:
@@ -486,18 +613,21 @@ class QuadTable:
         "mask_unpruned", "mask_et", "mask_unterminated",
     ))
 
+    #: Metadata columns: eager on the legacy path (the sort produces them
+    #: anyway) but deferred on the FrameIR path, where only the draw —
+    #: never digestion — consumes them.
+    _META_COLUMNS = frozenset((
+        "prim_ids", "qx", "qy", "tile_ids", "grid_ids", "qpos",
+    ))
+
     def __init__(self, prim_ids, qx, qy, tile_ids, grid_ids, qpos,
                  n_fragments, n_unpruned, n_et_blended, n_unterminated,
                  mask_unpruned, mask_et, mask_unterminated,
                  width, height, threshold, _lazy=None):
-        self.prim_ids = prim_ids
-        self.qx = qx
-        self.qy = qy
-        self.tile_ids = tile_ids
-        self.grid_ids = grid_ids
-        self.qpos = qpos
         self._lazy = _lazy
         columns = dict(
+            prim_ids=prim_ids, qx=qx, qy=qy, tile_ids=tile_ids,
+            grid_ids=grid_ids, qpos=qpos,
             n_fragments=n_fragments, n_unpruned=n_unpruned,
             n_et_blended=n_et_blended, n_unterminated=n_unterminated,
             mask_unpruned=mask_unpruned, mask_et=mask_et,
@@ -508,18 +638,26 @@ class QuadTable:
         self.width = width
         self.height = height
         self.threshold = threshold
+        #: Precomputed (prim, screen-tile) group ranges when the table was
+        #: materialised from a FrameIR (:class:`~repro.render.frameir.
+        #: GroupIR`); ``None`` for legacy-built tables.
+        self.ir_groups = None
 
     def __len__(self):
-        return self.prim_ids.shape[0]
+        if "prim_ids" in self.__dict__:
+            return self.prim_ids.shape[0]
+        return len(self._lazy.ir_quads)
 
     def __getattr__(self, name):
         # Only reached for attributes not set in __init__, i.e. deferred
-        # aggregate columns of a lazily built table.
-        if name in type(self)._LAZY_COLUMNS and self.__dict__.get("_lazy"):
+        # columns of a lazily built table.
+        cls = type(self)
+        if (name in cls._LAZY_COLUMNS or name in cls._META_COLUMNS) \
+                and self.__dict__.get("_lazy"):
             value = self._lazy.column(name)
             setattr(self, name, value)
             if all(column in self.__dict__
-                   for column in type(self)._LAZY_COLUMNS):
+                   for column in cls._LAZY_COLUMNS | cls._META_COLUMNS):
                 # Every column is materialised: drop the builder so it
                 # stops pinning the stream and its O(n_fragments) index
                 # arrays.
@@ -592,6 +730,35 @@ class QuadTable:
             width=width, height=height, threshold=threshold,
             _lazy=lazy,
         )
+
+    @classmethod
+    def from_ir(cls, stream, frameir, threshold=DEFAULT_TERMINATION_ALPHA,
+                lag=0):
+        """Materialise the table from the stream's FrameIR.
+
+        Bit-identical to :meth:`from_stream` — same rows in the same
+        ``(prim, tile, qpos)`` order, same aggregate columns — but the
+        grouping comes from the IR's raster-derived quad structure, so no
+        fragment-level sort (and no ``emit`` permutation) is needed.  The
+        IR's (prim, tile) group ranges ride along as :attr:`ir_groups`
+        for :class:`~repro.hwmodel.pipeline.DrawWorkload`.
+        """
+        if len(stream) == 0:
+            return cls.from_stream(stream, threshold, lag)
+        quads = frameir.quads()
+        lazy = _IRQuadColumnBuilder(stream, threshold, lag, quads)
+        table = cls(
+            prim_ids=None, qx=None, qy=None,
+            tile_ids=None, grid_ids=None, qpos=None,
+            n_fragments=None, n_unpruned=None,
+            n_et_blended=None, n_unterminated=None,
+            mask_unpruned=None, mask_et=None,
+            mask_unterminated=None,
+            width=stream.width, height=stream.height, threshold=threshold,
+            _lazy=lazy,
+        )
+        table.ir_groups = quads.groups
+        return table
 
     # Convenience aggregates used by the experiments -------------------
 

@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.gaussians.projection import ALPHA_EPS, ALPHA_MAX, Splat2D
 from repro.render.fragstream import TILE_SIZE, FragmentStream
+from repro.render.frameir import FrameIR, resolve_ir
 from repro.utils.validation import check_positive
 
 _EPS = float(np.finfo(np.float64).eps)
@@ -152,7 +153,12 @@ class TileBinning:
                    tiles_y=-(-int(height) // TILE_SIZE))
 
 
-def _empty_stream(splats, width, height):
+def _empty_stream(splats, width, height, ir="auto"):
+    empty = np.empty(0, dtype=np.int64)
+    frameir = None
+    if ir != "legacy":
+        frameir = FrameIR(empty, empty, empty, empty, empty,
+                          n_fragments=0, width=width, height=height)
     return FragmentStream(
         prim_ids=np.empty(0, dtype=np.int32),
         x=np.empty(0, dtype=np.int32),
@@ -162,6 +168,8 @@ def _empty_stream(splats, width, height):
         width=width,
         height=height,
         binning=TileBinning.empty(len(splats), width, height),
+        frameir=frameir,
+        ir=ir,
     )
 
 
@@ -181,7 +189,7 @@ def _clipped_bounds(splats, width, height):
 
 
 def rasterize_splats(splats, width, height, max_fragments=200_000_000,
-                     jobs=None):
+                     jobs=None, ir=None):
     """Rasterise sorted splats into a :class:`FragmentStream` (batched).
 
     Parameters
@@ -204,6 +212,14 @@ def rasterize_splats(splats, width, height, max_fragments=200_000_000,
         bit-identical for any ``jobs`` — block boundaries and all
         arithmetic are unchanged, only the wall-clock schedule differs.
         ``None``/``1`` keeps the single-threaded loop.
+    ir:
+        Frame-IR mode (see :mod:`repro.render.frameir`): ``"auto"`` /
+        ``"frameir"`` attach a :class:`~repro.render.frameir.FrameIR`
+        carrying the raster's row-interval structure for downstream
+        digestion; ``"legacy"`` emits a bare stream so every consumer
+        takes the original sort-based paths.  ``None`` follows the
+        process default (``$REPRO_IR`` or ``"auto"``).  The fragment
+        arrays are bit-identical in every mode.
 
     Returns
     -------
@@ -215,10 +231,11 @@ def rasterize_splats(splats, width, height, max_fragments=200_000_000,
         raise TypeError(f"splats must be a Splat2D, got {type(splats).__name__}")
     width = int(check_positive("width", width))
     height = int(check_positive("height", height))
+    ir = resolve_ir(ir)
 
     sid, x0, y0, x1, y1 = _clipped_bounds(splats, width, height)
     if sid.size == 0:
-        return _empty_stream(splats, width, height)
+        return _empty_stream(splats, width, height, ir=ir)
 
     binning = TileBinning(
         len(splats), sid,
@@ -233,18 +250,31 @@ def rasterize_splats(splats, width, height, max_fragments=200_000_000,
             f"fragment stream exceeds max_fragments={max_fragments}; "
             "reduce scene size or resolution")
     if total == 0:
-        stream = _empty_stream(splats, width, height)
+        stream = _empty_stream(splats, width, height, ir=ir)
         stream.binning = binning
         return stream
 
+    live = np.flatnonzero(lengths > 0)
+    fstarts = np.concatenate(([0], np.cumsum(lengths[live])))
     prim_ids, x, y, alphas = _fill_fragments(
-        splats, sid, rs, yrow, dy, xlo, xhi, lengths, total, jobs=jobs)
+        splats, sid, rs, yrow, dy, xlo, xhi, lengths, total,
+        live=live, fstarts=fstarts, jobs=jobs)
+    frameir = None
+    if ir != "legacy":
+        # The IR carries the raster's own row-interval structure (one
+        # covered pixel interval per live scanline, contiguous fragment
+        # runs) — the source every IR-derived grouping is built from.
+        frameir = FrameIR(
+            row_prim=sid[rs[live]], row_y=yrow[live],
+            row_xlo=xlo[live], row_xhi=xhi[live],
+            row_fstart=fstarts[:-1], n_fragments=total,
+            width=width, height=height)
     # Coordinates come from bounds clipped to the framebuffer and prim ids
     # from splat rows, so the stream skips the range re-validation.
     return FragmentStream(
         prim_ids=prim_ids, x=x, y=y, alphas=alphas,
         prim_colors=splats.colors, width=width, height=height,
-        binning=binning, validate=False)
+        binning=binning, validate=False, frameir=frameir, ir=ir)
 
 
 def _row_intervals(splats, sid, x0, y0, x1, y1):
@@ -348,7 +378,7 @@ def _scan_rows_exact(rows, x0r, x1r, cxr, p0r, t0, r0r, p1r, t1, r1r):
 
 
 def _fill_fragments(splats, sid, rs, yrow, dy, xlo, xhi, lengths, total,
-                    jobs=None):
+                    live=None, fstarts=None, jobs=None):
     """Materialise the fragment arrays from snapped row intervals.
 
     Every arithmetic step mirrors the scalar loop's expression order
@@ -357,12 +387,15 @@ def _fill_fragments(splats, sid, rs, yrow, dy, xlo, xhi, lengths, total,
     disjoint output slices, so with ``jobs > 1`` they run across the
     engine's thread executor with bit-identical results (NumPy releases
     the GIL inside the ufunc loops, so the conic/alpha math genuinely
-    overlaps).
+    overlaps).  ``live``/``fstarts`` (live-row indices and fragment
+    offsets) may be passed in when the caller already computed them.
     """
-    live = np.flatnonzero(lengths > 0)
+    if live is None:
+        live = np.flatnonzero(lengths > 0)
     rsl = rs[live]
     counts = lengths[live]
-    fstarts = np.concatenate(([0], np.cumsum(counts)))
+    if fstarts is None:
+        fstarts = np.concatenate(([0], np.cumsum(counts)))
 
     row_cx = splats.centers[sid, 0][rsl]
     row_a = splats.conics[sid, 0][rsl]
@@ -507,7 +540,9 @@ def rasterize_splats_scalar(splats, width, height, max_fragments=200_000_000):
         alpha_chunks.append(alpha.astype(np.float32))
 
     if total == 0:
-        return _empty_stream(splats, width, height)
+        # The scalar loop never carries a FrameIR (it is the golden
+        # oracle); keep that true for empty scenes as well.
+        return _empty_stream(splats, width, height, ir="legacy")
     return FragmentStream(
         prim_ids=np.concatenate(prim_chunks),
         x=np.concatenate(x_chunks),

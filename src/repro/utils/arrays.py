@@ -13,6 +13,17 @@ from __future__ import annotations
 import numpy as np
 
 
+def popcount4(masks):
+    """Population count of 4-bit coverage masks (vectorised).
+
+    Shared by the hardware-unit models and the FrameIR group derivation
+    (one implementation, so mask-width changes cannot diverge).
+    """
+    masks = np.asarray(masks)
+    return ((masks & 1) + ((masks >> 1) & 1)
+            + ((masks >> 2) & 1) + ((masks >> 3) & 1))
+
+
 def segment_boundaries(segment_ids):
     """Return ``starts`` indices of each segment in a sorted id array.
 

@@ -183,12 +183,98 @@ def _bench_scene(profile, rng):
     return synthetic.compose(fg, bg)
 
 
+def _aerial_scene(profile, rng):
+    """Sparse high-altitude overview (drone / flyover capture).
+
+    A wide ground sheet, scattered low structure clusters and a thin
+    haze shell: seen from a high orbit, most pixels are covered by a few
+    ground fragments only, so depth complexity — and with it the
+    early-termination ratio — stays near the workload's floor.  The
+    opposite end of the fragment-load spectrum from ``garden``.
+    """
+    p = profile.layout_params
+    n = profile.n_gaussians
+    n_ground = int(n * p.get("ground_frac", 0.45))
+    n_struct = int(n * p.get("struct_frac", 0.38))
+    n_haze = n - n_ground - n_struct
+    n_clusters = p.get("n_clusters", 9)
+    parts = [synthetic.make_plane(
+        rng, n_ground, center=(0, -0.55, 0.6), normal=(0, 1, 0),
+        extent=(4.4, 4.4), scale_mean=p.get("ground_scale", 0.045),
+        opacity_low=0.55, opacity_high=0.95, base_color=(0.42, 0.46, 0.36))]
+    per_cluster = np.full(n_clusters, n_struct // n_clusters, dtype=int)
+    per_cluster[: n_struct % n_clusters] += 1
+    for b, count in enumerate(per_cluster):
+        if count == 0:
+            continue
+        angle = 2 * np.pi * b / n_clusters
+        radius = 0.7 + 2.2 * rng.random()
+        cx = radius * np.cos(angle)
+        cz = 0.6 + radius * np.sin(angle) * 0.8
+        parts.append(synthetic.make_blob(
+            rng, int(count), center=(cx, -0.35, cz),
+            radius=p.get("cluster_radius", 0.28),
+            scale_mean=p.get("cluster_scale", 0.035), opacity_low=0.5,
+            opacity_high=0.95,
+            base_color=(0.5 + 0.04 * (b % 3), 0.47, 0.4)))
+    parts.append(synthetic.make_shell(
+        rng, n_haze, center=(0, 0.4, 0.6), radius=5.2, scale_mean=0.09,
+        opacity_low=0.25, opacity_high=0.6, base_color=(0.6, 0.65, 0.72)))
+    return synthetic.compose(*parts)
+
+
+def _garden_scene(profile, rng):
+    """Dense foliage (garden / vegetation capture).
+
+    Stacked near-horizontal canopy sheets over a thicket of bush blobs
+    and a ground sheet: many translucent surfaces along every ray, the
+    highest depth complexity in the catalogue — the regime where early
+    termination and quad merging pay the most.
+    """
+    p = profile.layout_params
+    n = profile.n_gaussians
+    n_canopy = int(n * p.get("canopy_frac", 0.42))
+    n_bushes = int(n * p.get("bush_frac", 0.38))
+    n_ground = n - n_canopy - n_bushes
+    n_bush_clusters = p.get("n_bushes", 7)
+    canopy = synthetic.make_layered_surfaces(
+        rng, n_canopy, center=(0, 0.45, 0.6), extent=(1.9, 1.5),
+        n_layers=p.get("canopy_layers", 6),
+        layer_spacing=p.get("canopy_spacing", 0.16), axis=(0, 1, 0.35),
+        scale_mean=p.get("canopy_scale", 0.035),
+        opacity_low=p.get("canopy_opacity_low", 0.5), opacity_high=0.92,
+        base_color=(0.32, 0.48, 0.28))
+    parts = [canopy]
+    per_bush = np.full(n_bush_clusters, n_bushes // n_bush_clusters,
+                       dtype=int)
+    per_bush[: n_bushes % n_bush_clusters] += 1
+    for b, count in enumerate(per_bush):
+        if count == 0:
+            continue
+        angle = 2 * np.pi * b / n_bush_clusters
+        radius = 0.35 + 0.9 * rng.random()
+        parts.append(synthetic.make_blob(
+            rng, int(count),
+            center=(radius * np.cos(angle), -0.25,
+                    0.5 + radius * np.sin(angle) * 0.7),
+            radius=p.get("bush_radius", 0.3),
+            scale_mean=p.get("bush_scale", 0.032), opacity_low=0.45,
+            opacity_high=0.9, base_color=(0.3, 0.44, 0.26)))
+    parts.append(synthetic.make_plane(
+        rng, n_ground, center=(0, -0.55, 0.6), normal=(0, 1, 0),
+        extent=(2.4, 2.4), scale_mean=0.05, opacity_low=0.6,
+        opacity_high=0.95, base_color=(0.35, 0.4, 0.3)))
+    return synthetic.compose(*parts)
+
+
 _BUILDERS = {
     "indoor": _indoor_scene,
     "outdoor": _outdoor_scene,
     "synthetic": _synthetic_scene,
     "city": _city_scene,
     "bench": _bench_scene,
+    "aerial": _aerial_scene,
+    "garden": _garden_scene,
 }
 
 
@@ -277,7 +363,29 @@ BENCH_SCENES = {
     ),
 }
 
-_ALL = {**SCENES, **LARGE_SCALE_SCENES, **BENCH_SCENES}
+#: Scenario profiles beyond the paper's figure sweeps: extra coverage
+#: regimes for the trajectory engine and its benchmarks (kept out of
+#: :func:`scene_names` so the figure tables stay the paper's).
+SCENARIO_SCENES = {
+    "aerial": SceneProfile(
+        name="aerial", dataset="procedural", scene_type="aerial",
+        paper_resolution=(1280, 720), paper_gaussians=1_500_000,
+        width=320, height=180, n_gaussians=5200,
+        camera_eye=(0.0, 3.4, -1.8), camera_target=(0.0, -0.3, 0.5),
+        orbit_radius=3.6, orbit_height=3.1,
+        layout_params={"n_clusters": 9},
+    ),
+    "garden": SceneProfile(
+        name="garden", dataset="procedural", scene_type="garden",
+        paper_resolution=(1280, 720), paper_gaussians=2_500_000,
+        width=224, height=144, n_gaussians=6000,
+        camera_eye=(0.0, 0.3, -2.2), camera_target=(0.0, -0.05, 0.4),
+        orbit_radius=2.3, orbit_height=0.4,
+        layout_params={"canopy_layers": 6, "n_bushes": 7},
+    ),
+}
+
+_ALL = {**SCENES, **LARGE_SCALE_SCENES, **BENCH_SCENES, **SCENARIO_SCENES}
 
 
 def scene_names(include_large=False):

@@ -24,14 +24,22 @@ from repro.workloads.catalog import build_scene, get_profile
 
 SCENES = ("lego", "palace")
 
+#: Every scene runs under both digestion engines: the FrameIR path and
+#: the legacy sort-based oracle must drive bit-identical flush schedules
+#: (CI additionally forces each mode process-wide via ``REPRO_IR``).
+IR_MODES = ("frameir", "legacy")
 
-@pytest.fixture(scope="module", params=SCENES)
+
+@pytest.fixture(scope="module",
+                params=[(scene, ir) for scene in SCENES for ir in IR_MODES],
+                ids=lambda p: f"{p[0]}-{p[1]}")
 def scene_stream(request):
-    profile = get_profile(request.param)
+    scene, ir = request.param
+    profile = get_profile(scene)
     cloud = build_scene(profile, seed=0)
     camera = profile.camera()
     pre = preprocess(cloud, camera)
-    return rasterize_splats(pre.splats, camera.width, camera.height)
+    return rasterize_splats(pre.splats, camera.width, camera.height, ir=ir)
 
 
 def assert_stats_identical(a, b):

@@ -182,7 +182,7 @@ class TestCheckMode:
         from repro.perf import suite as suite_mod
         from repro.perf.timer import TimingResult
 
-        def fake_suite(quick, scene=None, repeat=None):
+        def fake_suite(quick, scene=None, repeat=None, ir=None):
             return [BenchResult(TimingResult("fake/x", [0.2], 0), "s", {})]
 
         monkeypatch.setitem(suite_mod.SUITES, "rasterize", fake_suite)
@@ -192,7 +192,7 @@ class TestCheckMode:
         assert cli_main(["bench", "--suite", "rasterize", "--quick",
                          "--check"]) == 0
 
-        def slow_suite(quick, scene=None, repeat=None):
+        def slow_suite(quick, scene=None, repeat=None, ir=None):
             return [BenchResult(TimingResult("fake/x", [2.0], 0), "s", {})]
 
         monkeypatch.setitem(suite_mod.SUITES, "rasterize", slow_suite)
@@ -221,7 +221,17 @@ class TestTrajectorySuite:
     def test_quick_trajectory_rows(self):
         run = run_suite("trajectory", quick=True)
         names = [r.name for r in run]
-        assert names == ["trajectory/baseline:cold", "trajectory/het+qm:cold"]
+        # Quick mode trades the variant sweep for scenario coverage: the
+        # lego orbit plus the sparse aerial / dense garden profiles.
+        assert names == [
+            "trajectory/baseline:cold", "trajectory/het+qm:cold",
+            "trajectory/aerial/baseline:cold",
+            "trajectory/aerial/het+qm:cold",
+            "trajectory/garden/baseline:cold",
+            "trajectory/garden/het+qm:cold",
+        ]
+        assert [r.scene for r in run] == ["lego"] * 2 + ["aerial"] * 2 + \
+            ["garden"] * 2
         for result in run:
             assert result.metrics["frames"] == 2
             assert result.metrics["ms_per_frame"] > 0
@@ -230,3 +240,8 @@ class TestTrajectorySuite:
             stage_keys = [k for k in result.metrics
                           if k.startswith("stage_")]
             assert "stage_rasterize_ms_per_frame" in stage_keys
+
+    def test_scene_override_limits_rows(self):
+        run = run_suite("trajectory", quick=True, scene="lego")
+        assert [r.name for r in run] == [
+            "trajectory/baseline:cold", "trajectory/het+qm:cold"]
