@@ -31,6 +31,7 @@ from repro.hwmodel.config import GPUConfig, jetson_agx_orin
 from repro.hwmodel.pipeline import DrawWorkload, GraphicsPipeline
 from repro.hwmodel.prop import qru_storage_bytes
 from repro.hwmodel.tgc import TileGridCoalescer
+from repro.render.coherence import FrameCoherence, resolve_coherence
 from repro.render.frameir import resolve_ir
 from repro.render.splat_raster import rasterize_splats
 from repro.swrender.renderer import SWKernelModel
@@ -182,10 +183,19 @@ class HardwareRenderer:
         (default) digests streams off their FrameIR when they carry one,
         ``"frameir"`` requires it, ``"legacy"`` keeps the sort-based
         oracle path.  All modes are bit-identical.
+    coherence:
+        Cross-frame digestion reuse for *standalone* renderer loops (see
+        :mod:`repro.render.coherence`): ``"auto"``/``"incremental"``
+        attach a private :class:`~repro.render.coherence.FrameCoherence`
+        carrier that serves repeated frames from digested state (bit-
+        identical by construction).  The default ``None`` — like
+        ``"off"`` — keeps the renderer stateless across frames; sessions
+        manage their own carrier and take precedence on streams they
+        already classified.
     """
 
     def __init__(self, config=None, kernel_model=None, engine="batched",
-                 ir=None):
+                 ir=None, coherence=None):
         self.config = config if config is not None else variant_config("het+qm")
         if not isinstance(self.config, GPUConfig):
             raise TypeError("config must be a GPUConfig")
@@ -199,6 +209,11 @@ class HardwareRenderer:
         # ``$REPRO_IR`` process default must stay best-effort (resolved at
         # digestion time), not harden into a by-name requirement here.
         self.ir = resolve_ir(ir) if ir is not None else None
+        self.coherence = (resolve_coherence(coherence)
+                          if coherence is not None else None)
+        self._carrier = (FrameCoherence(self.coherence)
+                         if self.coherence in ("auto", "incremental")
+                         else None)
 
     def render(self, cloud, camera, crop_cache=None):
         """Render a cloud; returns an :class:`HWRenderResult`.
@@ -232,6 +247,18 @@ class HardwareRenderer:
         preprocess_cycles = model.preprocess_cycles(n_gaussians, 0)
         sort_cycles = model.sort_cycles(n_visible)
         t0 = time.perf_counter()
+        # A coherence carrier that classified this stream just before the
+        # render stashes its pre-classification snapshot; prefer it so the
+        # classification cost lands in this frame's digest breakdown.
+        base_sub = stream.__dict__.pop("_substage_base", None)
+        if base_sub is None:
+            base_sub = dict(stream.substage_ms)
+        if self._carrier is not None and stream.coherence is None:
+            # Standalone renderer loop: classify the frame against this
+            # renderer's private carrier.  Streams a session already
+            # classified arrive with ``stream.coherence`` set and are
+            # left alone.
+            self._carrier.begin_frame(stream)
         workload = DrawWorkload.from_stream(stream, self.config, ir=self.ir)
         t1 = time.perf_counter()
         draw = GraphicsPipeline(self.config).draw(workload,
@@ -239,5 +266,14 @@ class HardwareRenderer:
                                                   engine=self.engine)
         t2 = time.perf_counter()
         wall_ms = {"digest": (t1 - t0) * 1e3, "draw": (t2 - t1) * 1e3}
+        # Named digestion substages (pixel-group / arrival-alpha /
+        # chunklets / quad-columns), as the *delta* the digest above added
+        # to the stream's accumulators — a second render of the same
+        # stream (e.g. the session's baseline pass) reports only its own
+        # marginal work, not the first pass's.
+        for name, ms in stream.substage_ms.items():
+            delta = ms - base_sub.get(name, 0.0)
+            if delta > 0.0:
+                wall_ms[f"digest:{name}"] = delta
         return HWRenderResult(draw, preprocess_cycles,
                               sort_cycles, stream, pre, wall_ms=wall_ms)

@@ -134,16 +134,20 @@ class HardwareBackend:
     engine (default) or the retained scalar per-flush path — both produce
     cycle- and stat-identical results.  ``ir`` selects the digestion path
     (FrameIR-backed or the legacy sort-based oracle, see
-    :mod:`repro.render.frameir`) — likewise bit-identical.
+    :mod:`repro.render.frameir`) — likewise bit-identical.  ``coherence``
+    enables cross-frame digestion reuse for standalone backend loops (see
+    :mod:`repro.render.coherence`); sessions manage their own carrier and
+    leave this at its stateless default.
     """
 
-    def __init__(self, spec, variant, device, engine="batched", ir=None):
+    def __init__(self, spec, variant, device, engine="batched", ir=None,
+                 coherence=None):
         self.spec = spec
         self.variant = variant
         self.config = variant_config(variant, device)
         self.renderer = HardwareRenderer(
             config=self.config, kernel_model=device_kernel_model(device),
-            engine=engine, ir=ir)
+            engine=engine, ir=ir, coherence=coherence)
 
     def render(self, cloud, camera, crop_cache=None):
         res = self.renderer.render(cloud, camera, crop_cache=crop_cache)
@@ -256,7 +260,8 @@ _REGISTRY = {}
 
 
 def register_backend(spec, factory):
-    """Register ``factory(spec, device, ir=None) -> backend`` under ``spec``."""
+    """Register ``factory(spec, device, ir=None, coherence=None) -> backend``
+    under ``spec``."""
     if spec in _REGISTRY:
         raise ValueError(f"backend {spec!r} is already registered")
     _REGISTRY[spec] = factory
@@ -285,7 +290,7 @@ def backend_spec(spec_or_backend):
 
 
 def resolve_backend(spec_or_backend, device=None, device_name="orin",
-                    ir=None):
+                    ir=None, coherence=None):
     """Return a backend instance for a spec string *or* a ready instance.
 
     Backend instances (anything implementing :class:`RendererBackend`)
@@ -295,16 +300,19 @@ def resolve_backend(spec_or_backend, device=None, device_name="orin",
             spec_or_backend, "render_stream"):
         return spec_or_backend
     return create_backend(backend_spec(spec_or_backend), device=device,
-                          device_name=device_name, ir=ir)
+                          device_name=device_name, ir=ir,
+                          coherence=coherence)
 
 
-def create_backend(spec, device=None, device_name="orin", ir=None):
+def create_backend(spec, device=None, device_name="orin", ir=None,
+                   coherence=None):
     """Instantiate the backend registered under ``spec``.
 
     ``device`` (a :class:`~repro.hwmodel.config.GPUConfig`) overrides the
     ``device_name`` preset.  ``ir`` sets the backend's digestion mode
-    (see :mod:`repro.render.frameir`; ignored by backends that never
-    digest quads).
+    (see :mod:`repro.render.frameir`) and ``coherence`` its standalone
+    cross-frame reuse mode (see :mod:`repro.render.coherence`); both are
+    ignored by backends that never digest quads.
     """
     try:
         factory = _REGISTRY[spec]
@@ -314,24 +322,24 @@ def create_backend(spec, device=None, device_name="orin", ir=None):
         ) from None
     if device is None:
         device = make_device(device_name)
-    return factory(spec, device, ir=ir)
+    return factory(spec, device, ir=ir, coherence=coherence)
 
 
 def _register_defaults():
     for variant in VARIANTS:
         register_backend(
             f"hw:{variant}",
-            lambda spec, device, ir=None, v=variant: HardwareBackend(
-                spec, v, device, ir=ir))
+            lambda spec, device, ir=None, coherence=None, v=variant:
+                HardwareBackend(spec, v, device, ir=ir, coherence=coherence))
     register_backend(
-        "cuda", lambda spec, device, ir=None: CudaBackend(
+        "cuda", lambda spec, device, ir=None, coherence=None: CudaBackend(
             spec, device, early_term=False))
     register_backend(
-        "cuda+et", lambda spec, device, ir=None: CudaBackend(
+        "cuda+et", lambda spec, device, ir=None, coherence=None: CudaBackend(
             spec, device, early_term=True))
     register_backend(
-        "reference", lambda spec, device, ir=None: ReferenceBackend(
-            spec, device, ir=ir))
+        "reference", lambda spec, device, ir=None, coherence=None:
+            ReferenceBackend(spec, device, ir=ir))
 
 
 _register_defaults()

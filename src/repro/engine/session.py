@@ -27,6 +27,7 @@ from repro.engine import cache as engine_cache
 from repro.engine.backends import backend_spec, resolve_backend
 from repro.engine.executor import frame_seed, run_frames
 from repro.gaussians.preprocess import preprocess
+from repro.render.coherence import FrameCoherence, resolve_coherence
 from repro.render.frameir import resolve_ir
 from repro.render.splat_raster import rasterize_splats
 from repro.workloads.catalog import SceneProfile, build_scene, get_profile
@@ -205,11 +206,22 @@ class RenderSession:
         :mod:`repro.render.frameir`).  Every mode produces bit-identical
         frames — the knob only selects which digestion engine runs — so
         the disk cache key is deliberately ``ir``-agnostic.
+    coherence:
+        Cross-frame digestion reuse (``"auto"`` / ``"incremental"`` /
+        ``"off"``, see :mod:`repro.render.coherence`).  The session owns
+        one :class:`~repro.render.coherence.FrameCoherence` carrier
+        shared by :meth:`render_frame` calls and serial :meth:`run`
+        trajectories, so revisited viewpoints reuse digested state.
+        Like ``ir``, every mode is bit-identical — the disk cache key
+        stays ``coherence``-agnostic — and ``None`` defers to the
+        ``$REPRO_COHERENCE`` process default.  Parallel runs
+        (``jobs > 1``) silently bypass the carrier under ``"auto"`` and
+        refuse under explicit ``"incremental"``.
     """
 
     def __init__(self, scene, backend="hw:het+qm", baseline="auto",
                  device="orin", seed=0, warm_crop_cache=False,
-                 result_cache=None, ir=None):
+                 result_cache=None, ir=None, coherence=None):
         self.profile = (scene if isinstance(scene, SceneProfile)
                         else get_profile(scene))
         # Specs are normalised once here: ``backend``/``baseline`` may be
@@ -239,6 +251,11 @@ class RenderSession:
                          if baseline else None)
         self.warm_crop_cache = bool(warm_crop_cache)
         self.result_cache = result_cache
+        # None stays None so the $REPRO_COHERENCE default remains
+        # best-effort (resolved when the carrier is first built).
+        self.coherence = (resolve_coherence(coherence)
+                          if coherence is not None else None)
+        self._coherence_carrier = None
         self._cloud = None
 
     @property
@@ -256,14 +273,29 @@ class RenderSession:
                 self._cloud = build_scene(self.profile, seed=self.seed)
         return self._cloud
 
+    def _carrier(self):
+        """The session's coherence carrier (built once, possibly inert)."""
+        if self._coherence_carrier is None:
+            mode = (self.coherence if self.coherence is not None
+                    else resolve_coherence())
+            self._coherence_carrier = FrameCoherence(mode)
+        return self._coherence_carrier
+
     def render_frame(self, camera=None, crop_cache=None):
         """Render a single frame; defaults to the profile's camera.
 
-        Delegates straight to the backend, so the output is bit-identical
-        to calling the underlying renderer directly.
+        Preprocesses and rasterises exactly as the backend's own
+        ``render`` would — the output stays bit-identical to calling the
+        underlying renderer directly — but feeds the stream through the
+        session's coherence carrier first, so repeated frames (static
+        camera, revisited viewpoints) reuse digested state.
         """
         cam = camera if camera is not None else self.profile.camera()
-        return self.backend.render(self.cloud, cam, crop_cache=crop_cache)
+        pre = preprocess(self.cloud, cam)
+        stream = rasterize_splats(pre.splats, cam.width, cam.height,
+                                  ir=self.ir)
+        self._carrier().begin_frame(stream)
+        return self.backend.render_stream(stream, pre, crop_cache=crop_cache)
 
     def run(self, n_views=8, jobs=1, keep_results=False, raster_jobs=None,
             collect_stages=False):
@@ -301,6 +333,16 @@ class RenderSession:
             if hit is not None:
                 return TrajectoryResult.from_dict(hit, from_cache=True)
 
+        parallel = jobs is not None and jobs > 1
+        if parallel and self.coherence == "incremental":
+            raise ValueError(
+                "coherence='incremental' carries digestion state across "
+                "frames and requires serial execution (jobs=1)")
+        # Parallel fan-out silently bypasses the carrier under "auto":
+        # frames are bit-identical either way, the carrier only changes
+        # how fast digestion converges.
+        carrier = None if parallel else self._carrier()
+
         crop_cache = None
         if self.warm_crop_cache:
             if jobs is not None and jobs > 1:
@@ -337,6 +379,8 @@ class RenderSession:
                                       task.camera.height, jobs=raster_jobs,
                                       ir=self.ir)
             t2 = time.perf_counter()
+            if carrier is not None:
+                carrier.begin_frame(stream)
             frame = self.backend.render_stream(stream, pre,
                                                crop_cache=crop_cache)
             t3 = time.perf_counter()

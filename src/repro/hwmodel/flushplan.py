@@ -244,15 +244,18 @@ def execute_flush_plan(plan, workload, config, stats, crop, zrop, shader,
         single_local = (np.arange(merge.singles.shape[0], dtype=np.int64)
                         - single_offsets[f_single])
         n_out = int(out_counts.sum())
-        out_rows = np.empty(n_out, dtype=np.int64)
-        out_masks = np.empty(n_out, dtype=blend_masks.dtype)
         pair_pos = out_splits[f_pair] + pair_local
         single_pos = out_splits[f_single] + pairs_f[f_single] + single_local
-        out_rows[pair_pos] = surv_rows[merge.first]
-        out_masks[pair_pos] = (blend_masks[merge.first]
-                               | blend_masks[merge.second])
-        out_rows[single_pos] = surv_rows[merge.singles]
-        out_masks[single_pos] = blend_masks[merge.singles]
+        # One source permutation drives the whole out-stream: scatter the
+        # survivor indices once, then every output column is a single
+        # gather through it (a pair record carries its first member's
+        # row; its mask ORs in the second's).
+        out_src = np.empty(n_out, dtype=np.int64)
+        out_src[pair_pos] = merge.first
+        out_src[single_pos] = merge.singles
+        out_rows = surv_rows[out_src]
+        out_masks = blend_masks[out_src]
+        out_masks[pair_pos] |= blend_masks[merge.second]
         out_flush = np.repeat(np.arange(n_flushes, dtype=np.int64),
                               out_counts)
     else:

@@ -125,6 +125,15 @@ def plan_merges_segmented(segment_ids, qpos, n_segments, n_positions=64):
     if int(qpos.max()) >= n_positions:
         raise ValueError("qpos out of range for n_positions")
     key = segment_ids * np.int64(n_positions) + qpos
+    # The combined key is bounded by n_segments * n_positions; narrowing
+    # it lets numpy's stable argsort run as an LSD radix sort instead of
+    # a comparison mergesort.  Key values are unchanged, so the stable
+    # order — and with it every downstream pairing — is bit-identical.
+    key_bound = np.int64(n_segments) * np.int64(n_positions)
+    if key_bound <= np.iinfo(np.uint16).max:
+        key = key.astype(np.uint16)
+    elif key_bound <= np.iinfo(np.uint32).max:
+        key = key.astype(np.uint32)
     order = np.argsort(key, kind="stable")
     sorted_key = key[order]
     is_start = np.empty(n, dtype=bool)

@@ -35,6 +35,7 @@ def suite_report(run, baseline=None):
             "median_ms": result.timing.median_ms,
             "times_ms": [t * 1e3 for t in result.timing.times_s],
             "warmup": result.timing.warmup,
+            "cv": result.timing.cv,
             **result.metrics,
         })
     report = {
@@ -54,7 +55,61 @@ def suite_report(run, baseline=None):
     if baseline is not None:
         report["baseline_suite"] = baseline.get("suite")
         report["speedup_vs_baseline"] = compare_to_baseline(report, baseline)
+        report["noise_vs_baseline"] = classify_noise(report, baseline)
     return report
+
+
+def row_cv(row):
+    """Coefficient of variation of one report row's repeats.
+
+    Prefers the stored ``cv`` field; reports written before CV tracking
+    are reconstructed from their raw ``times_ms``.  Rows with a single
+    repeat have no measurable spread and return 0.0 — callers must treat
+    them as noise-blind, not noise-free.
+    """
+    cv = row.get("cv")
+    if cv is not None:
+        return float(cv)
+    times = row.get("times_ms") or []
+    if len(times) < 2:
+        return 0.0
+    mean = sum(times) / len(times)
+    if mean <= 0.0:
+        return 0.0
+    var = sum((t - mean) ** 2 for t in times) / (len(times) - 1)
+    return var ** 0.5 / mean
+
+
+def classify_noise(report, baseline, sigma=2.0):
+    """Per-benchmark noise verdict on the baseline comparison.
+
+    For every row shared with ``baseline``, compares the relative delta
+    ``|speedup - 1|`` against a noise floor built from *both* runs'
+    repeat spread: ``sigma * (cv_current + cv_baseline)``.  Returns
+    ``{name: {"speedup", "delta", "noise_floor", "within_noise"}}``.
+
+    A 0.95x row whose two sides each wobble by 3% between repeats is a 5%
+    delta against a ~12% floor — reported as ``within_noise: true`` so a
+    reader doesn't chase a regression that is scheduling jitter.  Deltas
+    that clear the floor are genuine changes at roughly the ``sigma``
+    confidence of the (small-sample) spread estimate.
+    """
+    base_rows = {row["name"]: row for row in baseline.get("benchmarks", [])}
+    verdicts = {}
+    for row in report.get("benchmarks", []):
+        base = base_rows.get(row["name"])
+        if base is None or not row["median_ms"] or not base.get("median_ms"):
+            continue
+        speedup = base["median_ms"] / row["median_ms"]
+        delta = abs(speedup - 1.0)
+        floor = sigma * (row_cv(row) + row_cv(base))
+        verdicts[row["name"]] = {
+            "speedup": speedup,
+            "delta": delta,
+            "noise_floor": floor,
+            "within_noise": bool(delta <= floor),
+        }
+    return verdicts
 
 
 def compare_to_baseline(report, baseline):

@@ -91,7 +91,7 @@ def _assert_identical(a, b):
             "be comparing different work")
 
 
-def _suite_rasterize(quick, scene=None, repeat=None, ir=None):
+def _suite_rasterize(quick, scene=None, repeat=None, ir=None, coherence=None):
     scene = scene or ("lego" if quick else "bench")
     repeat = repeat or (2 if quick else 5)
     _, camera, pre = _splats_for(scene)
@@ -125,7 +125,7 @@ def _suite_rasterize(quick, scene=None, repeat=None, ir=None):
     ]
 
 
-def _suite_reference(quick, scene=None, repeat=None, ir=None):
+def _suite_reference(quick, scene=None, repeat=None, ir=None, coherence=None):
     from repro.render.reference import render_reference
 
     scene = scene or ("lego" if quick else "train")
@@ -157,7 +157,7 @@ def _assert_draws_identical(a, b):
             "would be comparing different work")
 
 
-def _suite_hw(quick, scene=None, repeat=None, ir=None):
+def _suite_hw(quick, scene=None, repeat=None, ir=None, coherence=None):
     from repro.core.vrpipe import variant_config
     from repro.hwmodel.pipeline import DrawWorkload, GraphicsPipeline
 
@@ -223,7 +223,8 @@ def _stage_breakdown(session, n_views):
             for name, ms in sorted(result.stage_ms.items())}
 
 
-def _suite_trajectory(quick, scene=None, repeat=None, ir=None):
+def _suite_trajectory(quick, scene=None, repeat=None, ir=None,
+                      coherence=None):
     """End-to-end multi-frame trajectories, per hardware variant.
 
     The headline suite of the hardware model: each benchmark renders a
@@ -233,7 +234,11 @@ def _suite_trajectory(quick, scene=None, repeat=None, ir=None):
     report frames/s and a wall-clock per-stage breakdown, so
     ``BENCH_trajectory.json`` doubles as the repo's hotspot map; the
     ``stage_render:digest`` column measures whichever digestion engine
-    ``ir`` selects (the FrameIR path by default).
+    ``ir`` selects (the FrameIR path by default) under the cross-frame
+    ``coherence`` mode (the ``$REPRO_COHERENCE`` default when ``None``).
+    The session — and with it the coherence carrier — persists across the
+    warmup and every measured repeat, matching the production serving
+    loop where a trajectory revisits viewpoints against warm state.
 
     Quick mode trades the variant sweep for *scenario* coverage: the
     ``lego`` orbit plus the sparse ``aerial`` and dense ``garden``
@@ -258,7 +263,7 @@ def _suite_trajectory(quick, scene=None, repeat=None, ir=None):
                               + [(v, True) for v in warm_variants]):
             session = RenderSession(scene_name, backend=f"hw:{variant}",
                                     baseline=None, warm_crop_cache=warm,
-                                    ir=ir)
+                                    ir=ir, coherence=coherence)
             mode = "warm" if warm else "cold"
             prefix = ("trajectory" if scene_name == "lego"
                       else f"trajectory/{scene_name}")
@@ -276,7 +281,8 @@ def _suite_trajectory(quick, scene=None, repeat=None, ir=None):
     return results
 
 
-#: Suite registry: name -> callable(quick, scene=None, repeat=None, ir=None).
+#: Suite registry:
+#: name -> callable(quick, scene=None, repeat=None, ir=None, coherence=None).
 SUITES = {
     "rasterize": _suite_rasterize,
     "reference": _suite_reference,
@@ -285,13 +291,16 @@ SUITES = {
 }
 
 
-def run_suite(name, quick=False, scene=None, repeat=None, ir=None):
+def run_suite(name, quick=False, scene=None, repeat=None, ir=None,
+              coherence=None):
     """Run the suite registered under ``name`` and return a :class:`SuiteRun`.
 
     ``scene`` and ``repeat`` override the suite defaults (``repeat`` must
     be >= 1 when given); ``quick`` selects the CI-sized variant.  ``ir``
     selects the digestion engine the timed paths run under (see
-    :mod:`repro.render.frameir`).
+    :mod:`repro.render.frameir`) and ``coherence`` the cross-frame reuse
+    mode of session-based suites (see :mod:`repro.render.coherence`;
+    suites without cross-frame state accept and ignore it).
     """
     try:
         suite = SUITES[name]
@@ -301,4 +310,4 @@ def run_suite(name, quick=False, scene=None, repeat=None, ir=None):
     if repeat is not None and repeat < 1:
         raise ValueError(f"repeat must be >= 1, got {repeat}")
     return SuiteRun(name, quick, suite(quick, scene=scene, repeat=repeat,
-                                       ir=ir))
+                                       ir=ir, coherence=coherence))

@@ -53,6 +53,23 @@ class TimingResult:
     def mean_s(self):
         return statistics.fmean(self.times_s)
 
+    @property
+    def cv(self):
+        """Coefficient of variation (sample stdev / mean) of the repeats.
+
+        The row's own noise floor: a baseline delta smaller than the
+        combined CV of the two runs is scheduling jitter, not a real
+        change.  0.0 with fewer than two repeats (a single sample has no
+        measurable spread — callers must treat such rows as noise-blind,
+        not noise-free).
+        """
+        if len(self.times_s) < 2:
+            return 0.0
+        mean = self.mean_s
+        if mean <= 0.0:
+            return 0.0
+        return statistics.stdev(self.times_s) / mean
+
     def per_second(self, items):
         """Throughput ``items / median_s`` (0.0 for a zero median)."""
         if self.median_s <= 0.0:
@@ -93,15 +110,20 @@ def time_callable(fn, warmup=1, repeat=5, name=None,
     for _ in range(int(warmup)):
         fn()
     # A garbage-collection pass landing inside one repetition skews that
-    # sample by milliseconds; collect once up front, then keep the
-    # collector off for the measured region so every repeat sees the same
-    # allocator state.
+    # sample by milliseconds, so the collector stays off during every
+    # timed region — but it must run *between* repeats (untimed): cyclic
+    # garbage pinning large arrays otherwise accumulates across repeats,
+    # and the growing footprint slows later samples by far more than a
+    # collection pause ever would (observed: a 4-frame session repeat
+    # going 2 s -> 4 s -> 47 s as ~0.5 GB of cycle-held buffers pile up
+    # per run).  Collecting outside the clock gives every repeat the
+    # same allocator state without a pause inside any sample.
     gc_was_enabled = gc.isenabled()
-    gc.collect()
     gc.disable()
     try:
         times = []
         for _ in range(int(repeat)):
+            gc.collect()
             t0 = clock()
             fn()
             times.append(clock() - t0)

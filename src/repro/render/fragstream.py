@@ -17,10 +17,16 @@ All heavy quantities are computed lazily and cached.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
 from repro.render.frameir import resolve_ir
-from repro.utils.arrays import segment_boundaries, segmented_cumsum
+from repro.utils.arrays import (
+    segment_boundaries,
+    segmented_cumsum,
+    sliced_cumsum,
+)
 
 #: Default early-termination threshold on accumulated alpha (paper: 0.996).
 DEFAULT_TERMINATION_ALPHA = 0.996
@@ -33,6 +39,49 @@ QUAD_SIZE = 2
 TILE_SIZE = 16
 TILE_GRID_TILES = 4  # a tile grid is 4x4 screen tiles = 64x64 pixels
 QUADS_PER_TILE_AXIS = TILE_SIZE // QUAD_SIZE  # 8 -> 64 quad positions/tile
+
+
+def arrival_chain_sliced(alpha_eff_sorted, starts, slice_bounds):
+    """Arrival accumulated alpha over a pixel-sorted fragment block.
+
+    ``alpha_eff_sorted`` is the per-fragment effective alpha (zero when
+    pruned) in pixel-sorted order, ``starts`` the per-pixel segment
+    offsets, ``slice_bounds`` the scanline block offsets (the sorted
+    domain is scanline-major, so each scanline is one contiguous slice).
+    Returns the per-fragment arrival alpha
+    ``1 - prod_{j earlier at the pixel} (1 - alpha_j)``.
+
+    The log-space scans run *per scanline slice* (:func:`~repro.utils.
+    arrays.sliced_cumsum`), so every output element is a pure function of
+    its scanline's fragment content — the property the cross-frame
+    coherence layer relies on to reuse unchanged scanline blocks and
+    recompute only dirty ones, bit-identically to a full recompute.
+    Shared by both: this one function is the full recompute *and* the
+    dirty-subset recompute.
+    """
+    n = alpha_eff_sorted.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=np.float64)
+    logs = alpha_eff_sorted.astype(np.float64)
+    np.subtract(1.0, logs, out=logs)
+    # Clamp unconditionally: inert for every representable alpha < 1
+    # (``1 - float32(<1)`` is at least ~6e-8), and exactly the legacy
+    # policy when alpha == 1, so the result never depends on other
+    # scanlines' maxima.
+    np.maximum(logs, 1e-30, out=logs)
+    np.log(logs, out=logs)
+    lcs = sliced_cumsum(logs, slice_bounds)
+    # Per-pixel exclusive log-transmittance: the scanline-local inclusive
+    # scan minus the fragment's own log and the pixel's preceding scan
+    # value (zero for each scanline's first pixel segment).
+    offsets = lcs[starts - 1]  # wraps at starts[0] == 0; zeroed below
+    offsets[np.searchsorted(starts, slice_bounds[:-1])] = 0.0
+    seg_lens = np.diff(np.concatenate((starts, [n])))
+    lcs -= logs
+    lcs -= np.repeat(offsets, seg_lens)
+    arrival = np.exp(lcs, out=lcs)
+    np.subtract(1.0, arrival, out=arrival)
+    return arrival
 
 
 class FragmentStream:
@@ -95,7 +144,19 @@ class FragmentStream:
         self.binning = binning
         self.frameir = frameir
         self.ir = ir
+        #: Optional :class:`~repro.render.coherence.FrameCoherence` carrier
+        #: (attached by trajectory sessions); consulted before the arrival
+        #: caches are recomputed from scratch.
+        self.coherence = None
+        #: Wall-clock of the named digestion substages (ms), accumulated
+        #: as the lazy caches materialise; the hardware renderer folds
+        #: these into its per-frame stage breakdown.
+        self.substage_ms = {}
         self._cache = {}
+
+    def _add_substage(self, name, t0):
+        self.substage_ms[name] = (self.substage_ms.get(name, 0.0)
+                                  + (perf_counter() - t0) * 1e3)
 
     # ------------------------------------------------------------------
     # Basic derived arrays
@@ -137,11 +198,94 @@ class FragmentStream:
             self._cache["unpruned"] = self.alphas >= PRUNE_EPS
         return self._cache["unpruned"]
 
+    def _use_ir_digest(self):
+        """Whether the sorted-domain caches may derive from the FrameIR."""
+        return self.frameir is not None and resolve_ir(self.ir) != "legacy"
+
+    def _radix_pixel_keys(self):
+        """Pixel sort keys in the narrowest unsigned dtype that holds them.
+
+        NumPy's stable integer argsort is an LSD radix sort over the key
+        bytes, so halving the key width halves the counting passes: a
+        uint16 key (framebuffers up to 65536 pixels) sorts in two passes
+        where the int64 ``pixel_ids`` key takes eight.  The values are
+        identical pixel ids, so the stable permutation is identical.
+        """
+        n_pixels = self.n_pixels
+        if n_pixels <= 1 << 16:
+            dtype = np.uint16
+        elif n_pixels <= 1 << 32:
+            dtype = np.uint32
+        else:
+            return self.pixel_ids
+        return (self.y.astype(dtype) * dtype(self.width)
+                + self.x.astype(dtype))
+
+    def _ensure_pixel_grouping(self):
+        """Materialise ``pixel_order``, ``pix_sorted`` and ``pixel_starts``.
+
+        On IR-backed streams the pixel grouping derives from the FrameIR
+        row structure: per-pixel fragment counts come from a counting pass
+        over the row intervals (two bincounts of interval endpoints plus
+        one prefix sum — no fragment-level work), which yields
+        ``pix_sorted``/``pixel_starts`` directly, and the permutation
+        itself from a bounded-key radix sort over narrow pixel keys.  The
+        original int64 stable sort plus gather is retained as the oracle
+        for streams without an IR (hand-built, scalar-emitted); both paths
+        produce the identical permutation and identical caches, pinned by
+        ``tests/test_coherence.py``.
+        """
+        if "pix_sorted" in self._cache:
+            return
+        t0 = perf_counter()
+        n = len(self)
+        if self._use_ir_digest() and n:
+            # The rasteriser's emission order has non-decreasing prim ids,
+            # so a single stable sort on the pixel key is the (pixel, draw
+            # order) lexsort.
+            order = np.argsort(self._radix_pixel_keys(), kind="stable")
+            self._cache["pixel_order"] = order
+            counts = self._ir_pixel_counts()
+            nz = np.flatnonzero(counts)
+            seg_counts = counts[nz]
+            pix_sorted = np.repeat(nz, seg_counts)
+            starts = np.concatenate(([0], np.cumsum(seg_counts)[:-1]))
+            self._cache["pix_sorted"] = pix_sorted
+            self._cache["pixel_starts"] = starts
+        else:
+            order = self._pixel_order
+            pix_sorted = self.pixel_ids[order]
+            self._cache["pix_sorted"] = pix_sorted
+            self._cache["pixel_starts"] = segment_boundaries(pix_sorted)
+        self._add_substage("pixel-group", t0)
+
+    def _ir_pixel_counts(self):
+        """Per-pixel fragment counts from the IR's row intervals.
+
+        A row covering ``[xlo, xhi]`` on scanline ``y`` adds one fragment
+        to each pixel of the interval; the counts are the prefix sum of
+        the interval endpoint difference array over the flat pixel space.
+        (An interval's ``-1`` marker at ``xhi + 1`` may land on the next
+        scanline's first pixel, but its ``+1`` partner was already summed
+        by then, so the running sum stays exact — integer arithmetic.)
+        """
+        ir = self.frameir
+        n_pixels = self.n_pixels
+        row_y = ir.row_y.astype(np.int64)
+        start_keys = row_y * self.width + ir.row_xlo
+        end_keys = start_keys + (ir.row_xhi - ir.row_xlo) + 1
+        diff = (np.bincount(start_keys, minlength=n_pixels + 1)
+                - np.bincount(end_keys, minlength=n_pixels + 1))
+        return np.cumsum(diff[:n_pixels])
+
     @property
     def _pixel_order(self):
         """Indices lexsorting fragments by (pixel, draw order)."""
         if "pixel_order" not in self._cache:
             prim_ids = self.prim_ids
+            if self._use_ir_digest() and len(self):
+                self._ensure_pixel_grouping()
+                return self._cache["pixel_order"]
             if prim_ids.shape[0] == 0 or (prim_ids[1:] >= prim_ids[:-1]).all():
                 # Streams in emission order (the rasterisers' contract)
                 # have non-decreasing prim ids, so a single stable sort on
@@ -160,6 +304,27 @@ class FragmentStream:
             self._cache["pixel_starts"] = segment_boundaries(pix_sorted)
         return self._cache["pixel_starts"]
 
+    def _sorted_scanline_bounds(self):
+        """Scanline block offsets of the pixel-sorted stream.
+
+        The sorted domain is scanline-major (pixel id = ``y * width + x``),
+        so each scanline is one contiguous fragment block; the bounds are
+        the offsets ``[b0=0, ..., bk=n]`` delimiting them.
+        """
+        if "scanline_bounds" not in self._cache:
+            starts = self._cache["pixel_starts"]
+            pix_sorted = self._cache["pix_sorted"]
+            if starts.shape[0] == 0:
+                bounds = np.zeros(1, dtype=np.int64)
+            else:
+                seg_y = pix_sorted[starts] // self.width
+                first = np.empty(seg_y.shape, dtype=bool)
+                first[0] = True
+                np.not_equal(seg_y[1:], seg_y[:-1], out=first[1:])
+                bounds = np.concatenate((starts[first], [len(self)]))
+            self._cache["scanline_bounds"] = bounds
+        return self._cache["scanline_bounds"]
+
     def _ensure_arrival_sorted(self):
         """Materialise the pixel-sorted arrival caches (no fragment-order
         scatter).
@@ -169,18 +334,44 @@ class FragmentStream:
         ``arrival_sorted`` in the pixel-sorted domain.  Every consumer —
         :attr:`arrival_alpha`, :attr:`accumulated_alpha`, the termination
         masks, the HET rank structure — shares these caches instead of
-        re-running the exp/log chain, and only :attr:`arrival_alpha`
+        re-running the arrival chain, and only :attr:`arrival_alpha`
         itself pays for the scatter back to fragment order.
+
+        A :attr:`coherence` carrier, when attached, is consulted first: it
+        either serves the caches from the previous frame's state (reusing
+        unchanged scanline blocks) or lets this full recompute run and
+        records its results for the next frame.
         """
-        if "arrival_sorted" not in self._cache:
-            order = self._pixel_order
-            pix_sorted = self.pixel_ids[order]
-            # Effective alphas in emission order first, then one gather —
-            # identical values to gathering ``unpruned``/``alphas``
-            # separately, one fewer full-width gather.
-            alpha_eff = np.where(self.unpruned, self.alphas,
-                                 np.float32(0.0))[order]
-            starts = self._pixel_starts(pix_sorted)
+        if "arrival_sorted" in self._cache:
+            return
+        carrier = self.coherence
+        if carrier is not None and carrier.serve_arrival(self):
+            return
+        self._compute_arrival_sorted()
+        if carrier is not None:
+            carrier.capture(self)
+
+    def _compute_arrival_sorted(self):
+        """The full-recompute arrival chain (the coherence oracle)."""
+        self._ensure_pixel_grouping()
+        t0 = perf_counter()
+        order = self._cache["pixel_order"]
+        pix_sorted = self._cache["pix_sorted"]
+        starts = self._cache["pixel_starts"]
+        # Effective alphas in emission order first, then one gather —
+        # identical values to gathering ``unpruned``/``alphas``
+        # separately, one fewer full-width gather.
+        alpha_eff = np.where(self.unpruned, self.alphas,
+                             np.float32(0.0))[order]
+        if self._use_ir_digest():
+            # Per-scanline log-space scans: ~35% cheaper than the global
+            # segmented cumsum (no offset-subtraction pass, unconditional
+            # inert clamp) and deterministic per scanline content, which
+            # is what lets the coherence carrier splice cached scanline
+            # blocks into freshly computed ones bit-exactly.
+            arrival_sorted = arrival_chain_sliced(
+                alpha_eff, starts, self._sorted_scanline_bounds())
+        else:
             logs = alpha_eff.astype(np.float64)
             np.subtract(1.0, logs, out=logs)
             if len(self) and float(self.alphas.max()) >= 1.0:
@@ -193,9 +384,9 @@ class FragmentStream:
             exclusive_log_t = inclusive - logs
             arrival_sorted = np.exp(exclusive_log_t, out=exclusive_log_t)
             np.subtract(1.0, arrival_sorted, out=arrival_sorted)
-            self._cache["pix_sorted"] = pix_sorted
-            self._cache["alpha_eff_sorted"] = alpha_eff
-            self._cache["arrival_sorted"] = arrival_sorted
+        self._cache["alpha_eff_sorted"] = alpha_eff
+        self._cache["arrival_sorted"] = arrival_sorted
+        self._add_substage("arrival-alpha", t0)
 
     @property
     def arrival_alpha(self):
@@ -366,11 +557,16 @@ class FragmentStream:
         """
         if "accumulated_alpha" not in self._cache:
             self._ensure_arrival_sorted()
+            carrier = self.coherence
+            if carrier is not None and carrier.serve_accumulated(self):
+                return self._cache["accumulated_alpha"]
+            t0 = perf_counter()
             weights = ((1.0 - self._cache["arrival_sorted"])
                        * self._cache["alpha_eff_sorted"].astype(np.float64))
             self._cache["accumulated_alpha"] = np.bincount(
                 self._cache["pix_sorted"], weights=weights,
                 minlength=self.n_pixels)
+            self._add_substage("arrival-alpha", t0)
         return self._cache["accumulated_alpha"]
 
     def blend_image(self, early_term=False, threshold=DEFAULT_TERMINATION_ALPHA):
@@ -474,11 +670,13 @@ class FragmentStream:
         key = ("quad_table", round(float(threshold), 9), int(lag),
                "frameir" if use_ir else "legacy")
         if key not in self._cache:
+            t0 = perf_counter()
             if use_ir:
                 self._cache[key] = QuadTable.from_ir(self, self.frameir,
                                                      threshold, lag)
             else:
                 self._cache[key] = QuadTable.from_stream(self, threshold, lag)
+            self._add_substage("chunklets", t0)
         return self._cache[key]
 
 
@@ -526,6 +724,7 @@ class _QuadColumnBuilder:
         # overflow-proof); mask columns reduce in uint8 — a bitwise OR of
         # 4-bit coverage masks can never overflow.  Results widen to the
         # table's int64 convention afterwards.
+        t0 = perf_counter()
         if name == "n_fragments":
             ones = np.ones(len(self.stream), dtype=np.int32)
             per_quad = np.add.reduceat(ones, self.starts)
@@ -535,7 +734,9 @@ class _QuadColumnBuilder:
         else:
             per_quad = np.bitwise_or.reduceat(
                 self._bits() * self._fragment_flags(name), self.starts)
-        return per_quad[self.emit].astype(np.int64)
+        out = per_quad[self.emit].astype(np.int64)
+        self.stream._add_substage("quad-columns", t0)
+        return out
 
 
 class _IRQuadColumnBuilder(_QuadColumnBuilder):
@@ -564,15 +765,19 @@ class _IRQuadColumnBuilder(_QuadColumnBuilder):
         return self._bit
 
     def column(self, name):
+        t0 = perf_counter()
         if name in QuadTable._META_COLUMNS:
-            return self.ir_quads.meta()[name]
-        if name == "n_fragments":
-            return self.ir_quads.frag_counts()
-        if name.startswith("n_"):
-            return self.ir_quads.reduce_add(
+            out = self.ir_quads.meta()[name]
+        elif name == "n_fragments":
+            out = self.ir_quads.frag_counts()
+        elif name.startswith("n_"):
+            out = self.ir_quads.reduce_add(
                 self._fragment_flags(name).astype(np.int32))
-        return self.ir_quads.reduce_or(
-            self._bits() * self._fragment_flags(name))
+        else:
+            out = self.ir_quads.reduce_or(
+                self._bits() * self._fragment_flags(name))
+        self.stream._add_substage("quad-columns", t0)
+        return out
 
 
 class QuadTable:

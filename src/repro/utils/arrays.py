@@ -73,6 +73,32 @@ def segmented_cumsum(values, segment_ids, starts=None):
     return total - offsets
 
 
+def sliced_cumsum(values, bounds, out=None):
+    """Inclusive prefix sums restarted at each slice boundary — computed
+    with a *genuine* per-slice ``np.cumsum``, not the global-cumsum-minus-
+    offset trick of :func:`segmented_cumsum`.
+
+    The distinction matters for determinism, not speed: the subtraction
+    trick makes every element's rounding depend on all preceding slices,
+    while a true per-slice scan depends only on the slice's own content.
+    The cross-frame digestion coherence layer reuses per-scanline arrival
+    blocks verbatim, which is only bit-exact when a slice's values are a
+    pure function of the slice — so slice count here is the number of
+    scanlines (hundreds), and the Python loop costs microseconds per
+    slice.
+
+    ``bounds`` is an int array of slice offsets ``[b0, b1, ..., bk]`` with
+    ``b0 == 0`` and ``bk == len(values)``.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if out is None:
+        out = np.empty_like(values)
+    for i in range(bounds.shape[0] - 1):
+        a, b = bounds[i], bounds[i + 1]
+        np.cumsum(values[a:b], out=out[a:b])
+    return out
+
+
 def segmented_cumprod_exclusive(values, segment_ids, starts=None):
     """Exclusive prefix product within each segment.
 

@@ -56,6 +56,11 @@ def deep_camera():
 
 
 @pytest.fixture(scope="session")
+def deep_pre(deep_cloud, deep_camera):
+    return preprocess(deep_cloud, deep_camera)
+
+
+@pytest.fixture(scope="session")
 def deep_stream(deep_cloud, deep_camera):
     pre = preprocess(deep_cloud, deep_camera)
     return rasterize_splats(pre.splats, deep_camera.width,
