@@ -16,9 +16,11 @@ driven without writing Python.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import importlib
 import sys
 
+from repro import faults
 from repro.core.vrpipe import VARIANTS, run_all_variants, run_variant
 from repro.engine.backends import available_backends
 from repro.engine.cache import ResultCache
@@ -114,9 +116,16 @@ def cmd_trajectory(args):
         args.scene, backend=args.backend, baseline=baseline,
         device=args.device, seed=args.seed,
         warm_crop_cache=args.warm_crop_cache, result_cache=cache,
-        ir=args.ir, coherence=args.coherence)
-    trajectory = session.run(n_views=args.views, jobs=args.jobs,
-                             raster_jobs=args.raster_jobs)
+        ir=args.ir, coherence=args.coherence, strict=args.strict,
+        watchdog_ms=args.watchdog_ms)
+    # --faults overrides any $REPRO_FAULTS plan for this run; without it
+    # the environment plan (if any) stays in effect.
+    plan = faults.FaultPlan.parse(args.faults) if args.faults else None
+    context = (faults.active(plan) if plan is not None
+               else contextlib.nullcontext())
+    with context:
+        trajectory = session.run(n_views=args.views, jobs=args.jobs,
+                                 raster_jobs=args.raster_jobs)
 
     rows = []
     for rec in trajectory.records:
@@ -139,6 +148,21 @@ def cmd_trajectory(args):
         ["Aggregate", "Value"],
         [[key, agg[key]] for key in sorted(agg)],
         title="Aggregates"))
+    incidents = trajectory.incidents()
+    if incidents:
+        print()
+        rows = [[inc["frame"], inc["rung"], inc.get("point") or "-",
+                 inc.get("recovered_by") or "-",
+                 f"{inc.get('wall_ms', 0.0):.1f}",
+                 inc["error"]]
+                for inc in incidents]
+        summary = trajectory.incident_summary()
+        print(format_table(
+            ["Frame", "Failed rung", "Point", "Recovered by", "Lost ms",
+             "Error"], rows,
+            title=(f"Incidents: {summary['count']} on "
+                   f"{summary.get('frames_affected', 0)} frame(s) — all "
+                   "frames bit-identical to the fault-free run")))
     return 0
 
 
@@ -287,6 +311,18 @@ def build_parser():
                                  "digested state (bit-identical; serial "
                                  "only for 'incremental'; default "
                                  "$REPRO_COHERENCE or auto)")
+    trajectory.add_argument("--faults", default=None,
+                            help="seeded fault-injection plan, e.g. "
+                                 "'seed=7; digest:raise,times=1; "
+                                 "lru.replay:corrupt,p=0.5' (overrides "
+                                 "$REPRO_FAULTS; see repro.faults)")
+    trajectory.add_argument("--strict", action="store_true",
+                            help="raise frame failures through instead of "
+                                 "healing them via the degradation ladder")
+    trajectory.add_argument("--watchdog-ms", type=float, default=None,
+                            help="per-frame-attempt wall-clock budget; "
+                                 "overruns fail the attempt and enter the "
+                                 "degradation ladder")
 
     bench = sub.add_parser(
         "bench", help="run a performance suite and write BENCH_<suite>.json")

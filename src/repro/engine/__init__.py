@@ -27,7 +27,13 @@ from repro.engine.cache import (
     get_draw,
     get_scenario,
 )
-from repro.engine.executor import frame_seed, run_frames
+from repro.engine.executor import (
+    FrameExecutionError,
+    FrameIncident,
+    FrameLadderExhausted,
+    frame_seed,
+    run_frames,
+)
 from repro.engine.session import (
     FrameRecord,
     RenderSession,
@@ -36,6 +42,9 @@ from repro.engine.session import (
 )
 
 __all__ = [
+    "FrameExecutionError",
+    "FrameIncident",
+    "FrameLadderExhausted",
     "FrameRecord",
     "FrameResult",
     "RendererBackend",

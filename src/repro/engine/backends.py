@@ -260,8 +260,8 @@ _REGISTRY = {}
 
 
 def register_backend(spec, factory):
-    """Register ``factory(spec, device, ir=None, coherence=None) -> backend``
-    under ``spec``."""
+    """Register ``factory(spec, device, ir=None, coherence=None,
+    engine=None) -> backend`` under ``spec``."""
     if spec in _REGISTRY:
         raise ValueError(f"backend {spec!r} is already registered")
     _REGISTRY[spec] = factory
@@ -290,7 +290,7 @@ def backend_spec(spec_or_backend):
 
 
 def resolve_backend(spec_or_backend, device=None, device_name="orin",
-                    ir=None, coherence=None):
+                    ir=None, coherence=None, engine=None):
     """Return a backend instance for a spec string *or* a ready instance.
 
     Backend instances (anything implementing :class:`RendererBackend`)
@@ -301,18 +301,20 @@ def resolve_backend(spec_or_backend, device=None, device_name="orin",
         return spec_or_backend
     return create_backend(backend_spec(spec_or_backend), device=device,
                           device_name=device_name, ir=ir,
-                          coherence=coherence)
+                          coherence=coherence, engine=engine)
 
 
 def create_backend(spec, device=None, device_name="orin", ir=None,
-                   coherence=None):
+                   coherence=None, engine=None):
     """Instantiate the backend registered under ``spec``.
 
     ``device`` (a :class:`~repro.hwmodel.config.GPUConfig`) overrides the
     ``device_name`` preset.  ``ir`` sets the backend's digestion mode
-    (see :mod:`repro.render.frameir`) and ``coherence`` its standalone
-    cross-frame reuse mode (see :mod:`repro.render.coherence`); both are
-    ignored by backends that never digest quads.
+    (see :mod:`repro.render.frameir`), ``coherence`` its standalone
+    cross-frame reuse mode (see :mod:`repro.render.coherence`), and
+    ``engine`` the hardware pipeline's flush engine (``"batched"`` /
+    ``"scalar"``, ``None`` = backend default); all are ignored by
+    backends they don't apply to.
     """
     try:
         factory = _REGISTRY[spec]
@@ -322,24 +324,30 @@ def create_backend(spec, device=None, device_name="orin", ir=None,
         ) from None
     if device is None:
         device = make_device(device_name)
-    return factory(spec, device, ir=ir, coherence=coherence)
+    if engine is None:
+        # Factories registered before the engine knob existed keep working.
+        return factory(spec, device, ir=ir, coherence=coherence)
+    return factory(spec, device, ir=ir, coherence=coherence, engine=engine)
 
 
 def _register_defaults():
     for variant in VARIANTS:
         register_backend(
             f"hw:{variant}",
-            lambda spec, device, ir=None, coherence=None, v=variant:
-                HardwareBackend(spec, v, device, ir=ir, coherence=coherence))
+            lambda spec, device, ir=None, coherence=None, engine=None,
+                   v=variant:
+                HardwareBackend(spec, v, device,
+                                engine=engine or "batched",
+                                ir=ir, coherence=coherence))
     register_backend(
-        "cuda", lambda spec, device, ir=None, coherence=None: CudaBackend(
-            spec, device, early_term=False))
+        "cuda", lambda spec, device, ir=None, coherence=None, engine=None:
+            CudaBackend(spec, device, early_term=False))
     register_backend(
-        "cuda+et", lambda spec, device, ir=None, coherence=None: CudaBackend(
-            spec, device, early_term=True))
+        "cuda+et", lambda spec, device, ir=None, coherence=None, engine=None:
+            CudaBackend(spec, device, early_term=True))
     register_backend(
-        "reference", lambda spec, device, ir=None, coherence=None:
-            ReferenceBackend(spec, device, ir=ir))
+        "reference", lambda spec, device, ir=None, coherence=None,
+            engine=None: ReferenceBackend(spec, device, ir=ir))
 
 
 _register_defaults()

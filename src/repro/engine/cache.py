@@ -18,17 +18,22 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import time
+import uuid
 from dataclasses import asdict
 from pathlib import Path
 
+from repro import faults
 from repro.core.vrpipe import VARIANTS, run_variant
 from repro.engine.backends import make_device
 from repro.gaussians.preprocess import preprocess
 from repro.render.splat_raster import rasterize_splats
 from repro.workloads.catalog import build_scene, get_profile
 
-#: Bump when the cached trajectory payload layout changes.
-CACHE_SCHEMA = 1
+#: Bump when the cached trajectory payload layout changes.  Schema 2
+#: added the per-payload integrity checksum.
+CACHE_SCHEMA = 2
 
 _SCENARIO_MEMO = {}
 _DRAW_MEMO = {}
@@ -119,45 +124,154 @@ def _jsonify(obj):
     return str(obj)
 
 
+def payload_checksum(payload):
+    """Integrity digest of a cache payload (its own checksum excluded)."""
+    blob = json.dumps({k: v for k, v in payload.items() if k != "checksum"},
+                      sort_keys=True, default=_jsonify)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _corrupt_text(text):
+    """Bump the first decimal digit (fault injection: a flipped payload
+    value that stays valid JSON, so only the checksum can catch it)."""
+    for i, ch in enumerate(text):
+        if ch.isdigit():
+            return text[:i] + str((int(ch) + 1) % 10) + text[i + 1:]
+    return text + "\x00"
+
+
 class ResultCache:
     """On-disk JSON store for trajectory results, keyed by content hash.
 
     Entries hold the numeric per-frame records and run metadata — not
     images — so a hit reproduces every statistic bit-for-bit while the
-    store stays small.  A missing/corrupt entry reads as a miss.
+    store stays small.
+
+    Hardening (the service layer's requirements):
+
+    * every payload carries a SHA-256 ``checksum``, verified on load;
+    * entries that fail to parse, carry a stale schema, or fail their
+      checksum are **quarantined** — moved to ``quarantine/`` with the
+      failure reason in the filename — instead of silently re-missing
+      forever (and silently inflating ``len(cache)``);
+    * ``store`` writes through a unique per-writer tmp file (no shared
+      tmp-path race between concurrent writers of one key) and retries
+      transient ``OSError`` with exponential backoff, degrading to
+      uncached execution (``False``) when the disk stays unhappy;
+    * ``stats`` counts hits / misses / quarantines / store retries and
+      failures for observability.
     """
+
+    #: Attempts per :meth:`store` before degrading to uncached execution.
+    MAX_STORE_ATTEMPTS = 3
+    #: Base backoff between store attempts, in seconds (doubles per retry).
+    BACKOFF_S = 0.01
 
     def __init__(self, root):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = {"hits": 0, "misses": 0, "quarantined": 0,
+                      "store_retries": 0, "store_failures": 0}
 
     def _path(self, key):
         return self.root / f"{key}.json"
 
-    def load(self, key):
-        """The stored payload dict for ``key``, or ``None`` on a miss."""
-        path = self._path(key)
+    @property
+    def quarantine_dir(self):
+        return self.root / "quarantine"
+
+    def _quarantine(self, path, reason):
+        """Move a bad entry aside (reason-tagged) so it can't re-miss."""
+        qdir = self.quarantine_dir
         try:
+            qdir.mkdir(exist_ok=True)
+            path.replace(qdir / f"{path.stem}.{reason}.json")
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                return  # Unreachable entry: leave it for clear().
+        self.stats["quarantined"] += 1
+
+    def load(self, key):
+        """The verified payload dict for ``key``, or ``None`` on a miss.
+
+        Unparseable, schema-stale and checksum-failing entries are
+        quarantined (see class docstring) and read as misses.
+        """
+        path = self._path(key)
+        rule = None
+        try:
+            if faults.ENABLED:
+                rule = faults.checkpoint("cache.load")
             with open(path, "r", encoding="utf-8") as fh:
-                payload = json.load(fh)
-        except (OSError, ValueError):
+                text = fh.read()
+        except (OSError, faults.FaultInjected):
+            self.stats["misses"] += 1
+            return None
+        if rule is not None:
+            text = _corrupt_text(text)
+        try:
+            payload = json.loads(text)
+            if not isinstance(payload, dict):
+                raise ValueError("payload is not an object")
+        except ValueError:
+            self._quarantine(path, "corrupt")
+            self.stats["misses"] += 1
             return None
         if payload.get("schema") != CACHE_SCHEMA:
+            self._quarantine(path, "schema")
+            self.stats["misses"] += 1
             return None
+        if payload.get("checksum") != payload_checksum(payload):
+            self._quarantine(path, "checksum")
+            self.stats["misses"] += 1
+            return None
+        self.stats["hits"] += 1
         return payload
 
     def store(self, key, payload):
-        """Persist ``payload`` under ``key`` (atomic rename)."""
+        """Persist ``payload`` under ``key`` (atomic rename).
+
+        Writes through a tmp file unique to this writer, retries
+        transient ``OSError`` with exponential backoff, and returns
+        ``True`` on success / ``False`` after giving up — callers then
+        simply run uncached.
+        """
         payload = dict(payload, schema=CACHE_SCHEMA)
-        tmp = self._path(key).with_suffix(".tmp")
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh)
-        tmp.replace(self._path(key))
+        payload["checksum"] = payload_checksum(payload)
+        blob = json.dumps(payload)
+        path = self._path(key)
+        for attempt in range(self.MAX_STORE_ATTEMPTS):
+            tmp = self.root / f"{key}.{os.getpid()}.{uuid.uuid4().hex[:8]}.tmp"
+            try:
+                rule = (faults.checkpoint("cache.store")
+                        if faults.ENABLED else None)
+                with open(tmp, "w", encoding="utf-8") as fh:
+                    fh.write(blob if rule is None else _corrupt_text(blob))
+                tmp.replace(path)
+                return True
+            except (OSError, faults.FaultInjected):
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+                if attempt + 1 < self.MAX_STORE_ATTEMPTS:
+                    self.stats["store_retries"] += 1
+                    time.sleep(self.BACKOFF_S * (2 ** attempt))
+        self.stats["store_failures"] += 1
+        return False
 
     def clear(self):
-        """Delete every stored entry."""
-        for path in self.root.glob("*.json"):
-            path.unlink()
+        """Delete every stored entry, leftover tmp file and quarantined
+        entry."""
+        for pattern in ("*.json", "*.tmp"):
+            for path in self.root.glob(pattern):
+                path.unlink()
+        qdir = self.quarantine_dir
+        if qdir.is_dir():
+            for path in qdir.glob("*.json"):
+                path.unlink()
 
     def __len__(self):
         return sum(1 for _ in self.root.glob("*.json"))

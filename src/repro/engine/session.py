@@ -19,13 +19,16 @@ executor and return bit-identical records in either mode.
 
 from __future__ import annotations
 
+import threading
 import time
 
 import numpy as np
 
+from repro import faults
 from repro.engine import cache as engine_cache
 from repro.engine.backends import backend_spec, resolve_backend
-from repro.engine.executor import frame_seed, run_frames
+from repro.engine.executor import (FrameIncident, FrameLadderExhausted,
+                                   frame_seed, run_frames)
 from repro.gaussians.preprocess import preprocess
 from repro.render.coherence import FrameCoherence, resolve_coherence
 from repro.render.frameir import resolve_ir
@@ -52,14 +55,21 @@ class FrameRecord:
     by default — and for records restored from the disk cache — it is
     ``None``, so long trajectories never pin every frame's image and
     fragment stream in memory at once.
+
+    ``incidents`` lists the faults the self-healing executor recovered
+    while producing this frame (as
+    :meth:`~repro.engine.executor.FrameIncident.to_dict` payloads);
+    empty for clean frames.  The numeric fields are bit-identical
+    whether a frame rendered cleanly or through a degraded ladder rung.
     """
 
     _FIELDS = ("index", "backend", "seed", "cycles", "ms", "fps",
-               "et_ratio", "kernels", "baseline_cycles", "speedup")
+               "et_ratio", "kernels", "baseline_cycles", "speedup",
+               "incidents")
 
     def __init__(self, index, backend, seed, cycles=None, ms=None, fps=None,
                  et_ratio=None, kernels=None, baseline_cycles=None,
-                 speedup=None, result=None):
+                 speedup=None, incidents=None, result=None):
         self.index = int(index)
         self.backend = backend
         self.seed = int(seed)
@@ -70,6 +80,7 @@ class FrameRecord:
         self.kernels = dict(kernels) if kernels else {}
         self.baseline_cycles = baseline_cycles
         self.speedup = speedup
+        self.incidents = list(incidents) if incidents else []
         self.result = result
 
     def to_dict(self):
@@ -139,6 +150,36 @@ class TrajectoryResult:
             agg["geomean_speedup"] = geomean(speedups)
         return agg
 
+    def incidents(self):
+        """Flat list of every frame's incident payloads, in frame order.
+
+        Deliberately *not* part of :meth:`aggregates`: the aggregate
+        statistics are bit-identical between a chaos run and its
+        fault-free oracle (degraded rungs are exact), while incidents
+        describe the run's operational history.
+        """
+        return [inc for r in self.records for inc in (r.incidents or [])]
+
+    def incident_summary(self):
+        """Operational rollup of the run's incidents (empty run: count 0)."""
+        incidents = self.incidents()
+        summary = {"count": len(incidents)}
+        if not incidents:
+            return summary
+        summary["frames_affected"] = len({inc["frame"] for inc in incidents})
+        by_rung = {}
+        by_point = {}
+        for inc in incidents:
+            rung = inc.get("recovered_by") or "unrecovered"
+            by_rung[rung] = by_rung.get(rung, 0) + 1
+            point = inc.get("point") or "unknown"
+            by_point[point] = by_point.get(point, 0) + 1
+        summary["recovered_by"] = by_rung
+        summary["by_point"] = by_point
+        summary["wall_ms"] = float(sum(inc.get("wall_ms", 0.0)
+                                       for inc in incidents))
+        return summary
+
     def to_dict(self):
         return {
             "scene": self.scene,
@@ -147,6 +188,7 @@ class TrajectoryResult:
             "device": self.device,
             "seed": self.seed,
             "records": [r.to_dict() for r in self.records],
+            "incidents": self.incidents(),
         }
 
     @classmethod
@@ -217,11 +259,52 @@ class RenderSession:
         ``$REPRO_COHERENCE`` process default.  Parallel runs
         (``jobs > 1``) silently bypass the carrier under ``"auto"`` and
         refuse under explicit ``"incremental"``.
+    strict:
+        ``True`` restores raise-through semantics: a frame failure
+        propagates immediately instead of entering the degradation
+        ladder (see :data:`LADDER`).
+    watchdog_ms:
+        Per-frame-attempt wall-clock budget.  Attempts exceeding it
+        raise :class:`~repro.faults.WatchdogTimeout` at the next
+        instrumented checkpoint (the watchdog is cooperative — the
+        simulator is pure compute with checkpoints on every fast path),
+        and the ladder treats the timeout like any other frame fault.
+        ``None`` (default) disables the watchdog entirely.
+
+    Self-healing
+    ------------
+    Every trajectory frame runs through a bounded retry-with-degradation
+    ladder: retry as-is, then ``coherence=off``, then ``ir=legacy``,
+    then ``engine=scalar``.  Each rung re-renders the frame through a
+    *retained bit-exact oracle* of the failed fast path, so a degraded
+    frame's record is bit-identical to a clean one — only wall-clock
+    changes.  Recoveries are logged as structured incidents on the
+    frame's record; a frame that fails every rung raises
+    :class:`~repro.engine.executor.FrameLadderExhausted`.  Degraded
+    rungs need to rebuild backends from their registry specs, so
+    sessions handed ready backend *instances* ladder through the retry
+    rung only.
     """
+
+    #: The degradation ladder, least- to most-degraded.  Every rung is
+    #: bit-identical in its outputs; later rungs bypass progressively
+    #: more of the vectorized fast paths (and their failure modes).
+    LADDER = ("primary", "retry", "coherence=off", "ir=legacy",
+              "engine=scalar")
+
+    #: rung -> (use coherence carrier, ir override, flush-engine override).
+    _RUNG_KNOBS = {
+        "primary": (True, None, None),
+        "retry": (True, None, None),
+        "coherence=off": (False, None, None),
+        "ir=legacy": (False, "legacy", None),
+        "engine=scalar": (False, "legacy", "scalar"),
+    }
 
     def __init__(self, scene, backend="hw:het+qm", baseline="auto",
                  device="orin", seed=0, warm_crop_cache=False,
-                 result_cache=None, ir=None, coherence=None):
+                 result_cache=None, ir=None, coherence=None, strict=False,
+                 watchdog_ms=None):
         self.profile = (scene if isinstance(scene, SceneProfile)
                         else get_profile(scene))
         # Specs are normalised once here: ``backend``/``baseline`` may be
@@ -255,8 +338,15 @@ class RenderSession:
         # best-effort (resolved when the carrier is first built).
         self.coherence = (resolve_coherence(coherence)
                           if coherence is not None else None)
+        self.strict = bool(strict)
+        self.watchdog_ms = watchdog_ms
         self._coherence_carrier = None
         self._cloud = None
+        # Degraded-rung backends, built lazily from the registry specs
+        # (keyed by (role, ir, engine)) — possible exactly when the
+        # session was handed spec strings, i.e. when ``_cacheable``.
+        self._degraded = {}
+        self._degraded_lock = threading.Lock()
 
     @property
     def cloud(self):
@@ -280,6 +370,128 @@ class RenderSession:
                     else resolve_coherence())
             self._coherence_carrier = FrameCoherence(mode)
         return self._coherence_carrier
+
+    def _ladder_rungs(self):
+        """The rungs available to this session (see class docstring)."""
+        if self._cacheable:
+            return self.LADDER
+        return ("primary", "retry")
+
+    def _rung_backends(self, rung):
+        """``(backend, baseline, use_carrier, ir)`` for one ladder rung."""
+        use_carrier, ir, engine = self._RUNG_KNOBS[rung]
+        if ir is None and engine is None:
+            return self.backend, self.baseline, use_carrier, self.ir
+        with self._degraded_lock:
+            backend = self._degraded.get(("backend", ir, engine))
+            if backend is None:
+                backend = resolve_backend(self.backend_spec,
+                                          device_name=self.device_name,
+                                          ir=ir, engine=engine)
+                self._degraded[("backend", ir, engine)] = backend
+            baseline = None
+            if self.baseline is not None:
+                baseline = self._degraded.get(("baseline", ir, engine))
+                if baseline is None:
+                    baseline = resolve_backend(self.baseline_spec,
+                                               device_name=self.device_name,
+                                               ir=ir, engine=engine)
+                    self._degraded[("baseline", ir, engine)] = baseline
+        return backend, baseline, use_carrier, ir
+
+    def _render_frame_attempt(self, task, backend, baseline, carrier,
+                              crop_cache, raster_jobs, keep_results, ir,
+                              stages):
+        """One rendering attempt of one frame (any rung's configuration).
+
+        ``stages``, when not ``None``, collects this attempt's wall-clock
+        stage timings as ``(name, ms, substage dict)`` tuples — the
+        caller merges them into the run's breakdown only if the attempt
+        succeeds, so failed attempts never skew the per-stage report.
+        """
+        t0 = time.perf_counter()
+        pre = preprocess(self.cloud, task.camera)
+        t1 = time.perf_counter()
+        stream = rasterize_splats(pre.splats, task.camera.width,
+                                  task.camera.height, jobs=raster_jobs,
+                                  ir=ir)
+        t2 = time.perf_counter()
+        if carrier is not None:
+            carrier.begin_frame(stream)
+        frame = backend.render_stream(stream, pre, crop_cache=crop_cache)
+        t3 = time.perf_counter()
+        record = FrameRecord(
+            index=task.index, backend=self.backend_spec, seed=task.seed,
+            cycles=frame.cycles, ms=frame.ms, fps=frame.fps,
+            et_ratio=frame.et_ratio, kernels=frame.kernels,
+            result=frame if keep_results else None)
+        base = None
+        if baseline is not None:
+            base = baseline.render_stream(stream, pre)
+            record.baseline_cycles = base.cycles
+            if base.cycles and frame.cycles:
+                record.speedup = base.cycles / frame.cycles
+        if stages is not None:
+            t4 = time.perf_counter()
+            stages.append(("preprocess", (t1 - t0) * 1e3, None))
+            stages.append(("rasterize", (t2 - t1) * 1e3, None))
+            stages.append(("render", (t3 - t2) * 1e3, frame.wall_ms))
+            if base is not None:
+                stages.append(("baseline", (t4 - t3) * 1e3, base.wall_ms))
+        return record
+
+    def _run_frame_ladder(self, task, carrier, crop_cache, raster_jobs,
+                          keep_results, stage_sink):
+        """Render one frame through the degradation ladder.
+
+        Cross-frame shared state (the coherence carrier, a warm CROP
+        cache) is snapshotted before the first attempt and rewound
+        before every retry, so a fault that struck mid-mutation cannot
+        leak half-updated state into the healed frame or its successors.
+        """
+        incidents = []
+        last_exc = None
+        carrier_snap = (carrier.snapshot() if carrier is not None else None)
+        crop_snap = (crop_cache.snapshot()
+                     if crop_cache is not None
+                     and hasattr(crop_cache, "snapshot") else None)
+        for rung in self._ladder_rungs():
+            backend, baseline, use_carrier, ir = self._rung_backends(rung)
+            if incidents:
+                if carrier_snap is not None:
+                    carrier.restore(carrier_snap)
+                if crop_snap is not None:
+                    crop_cache.restore(crop_snap)
+            stages = [] if stage_sink is not None else None
+            t0 = time.perf_counter()
+            try:
+                with faults.watchdog(self.watchdog_ms):
+                    record = self._render_frame_attempt(
+                        task, backend, baseline,
+                        carrier if use_carrier else None, crop_cache,
+                        raster_jobs, keep_results, ir, stages)
+            except Exception as exc:
+                if self.strict:
+                    raise
+                last_exc = exc
+                incidents.append(FrameIncident(
+                    task.index, rung, f"{type(exc).__name__}: {exc}",
+                    point=getattr(exc, "point", None),
+                    wall_ms=(time.perf_counter() - t0) * 1e3))
+                continue
+            if incidents:
+                for incident in incidents:
+                    incident.recovered_by = rung
+                record.incidents = [inc.to_dict() for inc in incidents]
+            if stage_sink is not None:
+                stage_sink(stages)
+            return record
+        if carrier_snap is not None:
+            carrier.restore(carrier_snap)
+        if crop_snap is not None:
+            crop_cache.restore(crop_snap)
+        raise FrameLadderExhausted(task.index, task.seed,
+                                   incidents) from last_exc
 
     def render_frame(self, camera=None, crop_cache=None):
         """Render a single frame; defaults to the profile's camera.
@@ -360,51 +572,24 @@ class RenderSession:
             _FrameTask(k, cam, frame_seed(self.profile.name, self.seed, k))
             for k, cam in enumerate(cameras)
         ]
-        cloud = self.cloud  # build outside the workers, share read-only
+        _ = self.cloud  # build once outside the workers, shared read-only
 
         stage_ms = {} if collect_stages else None
 
-        def add_stage(name, t0, t1, frame=None):
-            stage_ms[name] = stage_ms.get(name, 0.0) + (t1 - t0) * 1e3
-            if frame is not None:
-                for sub, ms in frame.wall_ms.items():
+        def stage_sink(stages):
+            for name, ms, substages in stages:
+                stage_ms[name] = stage_ms.get(name, 0.0) + ms
+                for sub, sub_ms in (substages or {}).items():
                     key = f"{name}:{sub}"
-                    stage_ms[key] = stage_ms.get(key, 0.0) + ms
+                    stage_ms[key] = stage_ms.get(key, 0.0) + sub_ms
 
         def render_one(task):
-            t0 = time.perf_counter()
-            pre = preprocess(cloud, task.camera)
-            t1 = time.perf_counter()
-            stream = rasterize_splats(pre.splats, task.camera.width,
-                                      task.camera.height, jobs=raster_jobs,
-                                      ir=self.ir)
-            t2 = time.perf_counter()
-            if carrier is not None:
-                carrier.begin_frame(stream)
-            frame = self.backend.render_stream(stream, pre,
-                                               crop_cache=crop_cache)
-            t3 = time.perf_counter()
-            record = FrameRecord(
-                index=task.index, backend=self.backend_spec, seed=task.seed,
-                cycles=frame.cycles, ms=frame.ms, fps=frame.fps,
-                et_ratio=frame.et_ratio, kernels=frame.kernels,
-                result=frame if keep_results else None)
-            base = None
-            if self.baseline is not None:
-                base = self.baseline.render_stream(stream, pre)
-                record.baseline_cycles = base.cycles
-                if base.cycles and frame.cycles:
-                    record.speedup = base.cycles / frame.cycles
-            if stage_ms is not None:
-                t4 = time.perf_counter()
-                add_stage("preprocess", t0, t1)
-                add_stage("rasterize", t1, t2)
-                add_stage("render", t2, t3, frame)
-                if base is not None:
-                    add_stage("baseline", t3, t4, base)
-            return record
+            return self._run_frame_ladder(
+                task, carrier, crop_cache, raster_jobs, keep_results,
+                stage_sink if stage_ms is not None else None)
 
-        records = run_frames(render_one, tasks, jobs=jobs)
+        records = run_frames(render_one, tasks, jobs=jobs,
+                             task_info=lambda task, _: (task.index, task.seed))
         result = TrajectoryResult(
             scene=self.profile.name, backend=self.backend_spec,
             baseline=self.baseline_spec, device=self.device_name,

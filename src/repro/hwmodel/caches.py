@@ -30,6 +30,8 @@ from collections import OrderedDict
 
 import numpy as np
 
+from repro import faults
+
 #: Below this stream length the scalar loop wins (vectorisation overhead
 #: dominates); measured crossover is ~2-4k accesses.
 VECTOR_MIN_STREAM = 4096
@@ -300,6 +302,30 @@ def replay_tag_stream(tags, n_lines, warm_items, write):
     return stream_hit, (hits, misses, evictions, writebacks), final_items
 
 
+def _corrupt_replay(counters):
+    """A fault-injected perturbation of vectorized replay counters."""
+    hits, misses, evictions, writebacks = counters
+    return hits + 1, misses, evictions, writebacks
+
+
+def _validate_replay(n, n_lines, stream_hit, counters, final_items):
+    """Replay invariants (checked only while the fault harness is on).
+
+    The hit flags, the counters and the final state are derived from one
+    another, so any single-field corruption breaks a cross-check here.
+    """
+    hits, misses, evictions, writebacks = counters
+    if (stream_hit.shape[0] != n
+            or hits != int(stream_hit.sum())
+            or hits + misses != n
+            or evictions < 0 or writebacks < 0
+            or len(final_items) > n_lines):
+        faults.corrupt_detected(
+            "lru.replay",
+            f"vectorized LRU replay failed its invariants: n={n}, "
+            f"counters={counters}, resident={len(final_items)}/{n_lines}")
+
+
 class LRUCache:
     """Fully-associative LRU cache over line addresses.
 
@@ -327,6 +353,20 @@ class LRUCache:
 
     def __len__(self):
         return len(self._lines)
+
+    def snapshot(self):
+        """Full replayable state (lines in LRU order + counters).
+
+        With :meth:`restore` this lets a frame executor rewind a shared
+        warm cache after a failed attempt mutated it mid-draw.
+        """
+        return (list(self._lines.items()), self.hits, self.misses,
+                self.evictions, self.writebacks)
+
+    def restore(self, state):
+        """Restore a :meth:`snapshot` (contents and counters)."""
+        items, self.hits, self.misses, self.evictions, self.writebacks = state
+        self._lines = OrderedDict(items)
 
     def reset_counters(self):
         self.hits = 0
@@ -403,15 +443,23 @@ class LRUCache:
             raise ValueError("seg_splits must ascend from 0 to len(tags)")
         if engine not in ("auto", "vector", "scalar"):
             raise ValueError(f"unknown engine {engine!r}")
+        rule = faults.checkpoint("lru.replay") if faults.ENABLED else None
         use_vector = (engine == "vector"
                       or (engine == "auto"
-                          and tags.shape[0] >= VECTOR_MIN_STREAM))
+                          and tags.shape[0] >= VECTOR_MIN_STREAM)
+                      or (rule is not None and engine != "scalar"
+                          and tags.shape[0] > 0))
         if use_vector:
             replay = replay_tag_stream(
                 np.ascontiguousarray(tags, dtype=np.int64), self.n_lines,
                 list(self._lines.items()), bool(write))
             if replay is not None:
                 stream_hit, counters, final_items = replay
+                if rule is not None:
+                    counters = _corrupt_replay(counters)
+                if faults.ENABLED:
+                    _validate_replay(tags.shape[0], self.n_lines,
+                                     stream_hit, counters, final_items)
                 hits, misses, evictions, writebacks = counters
                 self.hits += hits
                 self.misses += misses

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import faults
 from repro.hwmodel.prop import plan_merges_segmented
 from repro.hwmodel.tc import RangeTileCoalescer, TileCoalescer
 from repro.hwmodel.tgc import TileGridCoalescer
@@ -127,6 +128,13 @@ def build_flush_plan(workload, config):
     range-level coalescer, so the resulting schedule is flush-for-flush
     identical to what :class:`~repro.hwmodel.tc.TileCoalescer` would emit.
     """
+    if faults.ENABLED:
+        rule = faults.checkpoint("flushplan")
+        if rule is not None:
+            # A corrupted plan would silently skew every downstream cycle
+            # count; the scalar flush engine is the recovery path, so
+            # model the corruption as detected here.
+            faults.corrupt_detected("flushplan")
     tc = RangeTileCoalescer(config.n_tc_bins, config.tc_bin_quads,
                             config.tc_timeout_quads)
     tgc_counts = None

@@ -51,6 +51,7 @@ from time import perf_counter
 
 import numpy as np
 
+from repro import faults
 from repro.render.fragstream import arrival_chain_sliced
 from repro.utils.arrays import segment_boundaries
 
@@ -211,6 +212,27 @@ class FrameCoherence:
                 and np.array_equal(stream.alphas.view(np.uint32),
                                    cand.alphas.view(np.uint32)))
 
+    def snapshot(self):
+        """Rewindable copy of the carrier's cross-frame state.
+
+        Shallow per-entry copies are sound: digested :class:`_FrameState`
+        entries are never mutated in place after capture (their stream
+        caches are frozen read-only), so only the container structures and
+        the per-frame cursors need copying.  Used by the self-healing
+        frame executor to rewind the carrier after a failed attempt.
+        """
+        return (list(self._states.items()), self._prev, self._current,
+                self._key, self._hit, self._full_hit, self._acc_patch,
+                self._partial_state, dict(self.stats))
+
+    def restore(self, state):
+        """Restore a :meth:`snapshot` (library, cursors and counters)."""
+        (items, self._prev, self._current, self._key, self._hit,
+         self._full_hit, self._acc_patch, self._partial_state,
+         stats) = state
+        self._states = OrderedDict(items)
+        self.stats = dict(stats)
+
     # ------------------------------------------------------------------
     # Frame lifecycle
     # ------------------------------------------------------------------
@@ -242,6 +264,12 @@ class FrameCoherence:
         self._partial_state = None
         self._key = self._content_key(stream)
         cand = self._states.get(self._key)
+        if faults.ENABLED and faults.checkpoint("coherence.verify") is not None:
+            # Injected corruption of the carried state: exact verification
+            # would reject a poisoned candidate, so model the detection as
+            # a forced miss — the frame takes the always-available full
+            # recompute path, which is bit-identical by construction.
+            cand = None
         if cand is not None and self._verify(stream, cand.stream):
             self._full_hit = True
             self._hit = cand
