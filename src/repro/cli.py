@@ -8,6 +8,7 @@ Usage::
     python -m repro bench [--suite rasterize] [--quick] [--baseline BENCH_prev.json]
     python -m repro experiment fig16
     python -m repro list-scenes
+    python -m repro lint [--format json] [--rules R1,R4]
 
 The CLI wraps the library's main entry points so the reproduction can be
 driven without writing Python.
@@ -28,6 +29,7 @@ from repro.engine.session import RenderSession
 from repro.experiments.runner import format_table
 from repro.gaussians.preprocess import preprocess
 from repro.hwmodel.report import compare_variants, draw_report
+from repro.knobs import COHERENCE_MODES, IR_MODES
 from repro.perf.report import (
     check_report,
     load_report,
@@ -35,7 +37,6 @@ from repro.perf.report import (
     write_report,
 )
 from repro.perf.suite import SUITES, run_suite
-from repro.render.coherence import COHERENCE_MODES
 from repro.render.image_io import write_ppm
 from repro.render.splat_raster import rasterize_splats
 from repro.workloads.catalog import (
@@ -242,6 +243,35 @@ def cmd_experiment(args):
     return 0
 
 
+def cmd_lint(args):
+    # Deferred import: the analysis engine is only needed by this
+    # subcommand and pulls in the whole-tree scanner.
+    from repro.analysis import (
+        BASELINE_NAME,
+        counts,
+        format_json,
+        format_text,
+        repo_root,
+        run_lint,
+        write_baseline,
+    )
+
+    rules = ([rule.strip() for rule in args.rules.split(",")
+              if rule.strip()] if args.rules else None)
+    findings = run_lint(paths=args.paths or None, rules=rules,
+                        baseline=args.baseline)
+    if args.write_baseline:
+        target = args.baseline or str(repo_root() / BASELINE_NAME)
+        written = write_baseline(target, findings)
+        print(f"wrote {written} baseline entries to {target}")
+        return 0
+    if args.fmt == "json":
+        sys.stdout.write(format_json(findings))
+    else:
+        print(format_text(findings, show_all=args.show_all))
+    return 1 if counts(findings)["active"] else 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -268,7 +298,7 @@ def build_parser():
                           help="run and compare all four variants")
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument("--ir", default=None,
-                          choices=("auto", "frameir", "legacy"),
+                          choices=IR_MODES,
                           help="digestion engine: FrameIR-backed (auto/"
                                "frameir) or the legacy sort-based oracle "
                                "(bit-identical; default $REPRO_IR or auto)")
@@ -301,7 +331,7 @@ def build_parser():
     trajectory.add_argument("--cache-dir", default=None,
                             help="on-disk trajectory result cache directory")
     trajectory.add_argument("--ir", default=None,
-                            choices=("auto", "frameir", "legacy"),
+                            choices=IR_MODES,
                             help="digestion engine (bit-identical; default "
                                  "$REPRO_IR or auto)")
     trajectory.add_argument("--coherence", default=None,
@@ -348,7 +378,7 @@ def build_parser():
                        help="allowed slowdown before --check fails "
                             "(default 0.5 = 50%%)")
     bench.add_argument("--ir", default=None,
-                       choices=("auto", "frameir", "legacy"),
+                       choices=IR_MODES,
                        help="digestion engine the timed paths run under "
                             "(bit-identical; default $REPRO_IR or auto)")
     bench.add_argument("--coherence", default=None,
@@ -360,6 +390,29 @@ def build_parser():
     experiment = sub.add_parser(
         "experiment", help="regenerate a paper table/figure")
     experiment.add_argument("name", choices=_EXPERIMENTS)
+
+    lint = sub.add_parser(
+        "lint", help="run the repo's static invariant checker (rules "
+                     "R1-R6; see README 'Static analysis')")
+    lint.add_argument("paths", nargs="*",
+                      help="files/directories to scan, repo-relative "
+                           "(default: src)")
+    lint.add_argument("--rules", default=None,
+                      help="comma-separated rule ids to run (default: all)")
+    lint.add_argument("--baseline", default=None,
+                      help="baseline file of grandfathered findings "
+                           "(default: .repro-lint-baseline.json at the "
+                           "repo root when present)")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="record current active findings into the "
+                           "baseline file and exit 0")
+    lint.add_argument("--format", dest="fmt", default="text",
+                      choices=("text", "json"),
+                      help="report format; json is sorted and "
+                           "timestamp-free, stable to diff across PRs")
+    lint.add_argument("--show-all", action="store_true",
+                      help="also list suppressed and baselined findings "
+                           "in text output")
     return parser
 
 
@@ -373,6 +426,7 @@ def main(argv=None):
         "trajectory": cmd_trajectory,
         "bench": cmd_bench,
         "experiment": cmd_experiment,
+        "lint": cmd_lint,
     }
     return handlers[args.command](args)
 

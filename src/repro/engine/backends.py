@@ -264,6 +264,7 @@ def register_backend(spec, factory):
     engine=None) -> backend`` under ``spec``."""
     if spec in _REGISTRY:
         raise ValueError(f"backend {spec!r} is already registered")
+    # repro-lint: ok(R6): populated once at import time before workers exist; read-only afterwards
     _REGISTRY[spec] = factory
 
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 import time
 import uuid
 from dataclasses import asdict
@@ -37,6 +38,12 @@ CACHE_SCHEMA = 2
 
 _SCENARIO_MEMO = {}
 _DRAW_MEMO = {}
+
+#: Guards the memo dicts: the memoised builders are reachable from
+#: run_frames worker callables, so first-build and lookup must be
+#: atomic.  Reentrant because get_draw -> get_scenario -> get_cloud
+#: nest under the same lock.
+_MEMO_LOCK = threading.RLock()
 
 
 class Scenario:
@@ -57,9 +64,10 @@ class Scenario:
 def get_cloud(name, seed=0):
     """Build (or fetch) the Gaussian cloud for a catalogued scene."""
     key = (name, seed)
-    if key not in _SCENARIO_MEMO:
-        _SCENARIO_MEMO[key] = build_scene(get_profile(name), seed=seed)
-    return _SCENARIO_MEMO[key]
+    with _MEMO_LOCK:
+        if key not in _SCENARIO_MEMO:
+            _SCENARIO_MEMO[key] = build_scene(get_profile(name), seed=seed)
+        return _SCENARIO_MEMO[key]
 
 
 def get_scenario(name, seed=0, camera=None, view_key=None):
@@ -69,14 +77,15 @@ def get_scenario(name, seed=0, camera=None, view_key=None):
     camera and a hashable key identifying it.
     """
     key = (name, seed, view_key)
-    if key not in _SCENARIO_MEMO:
-        profile = get_profile(name)
-        cloud = get_cloud(name, seed)
-        cam = camera if camera is not None else profile.camera()
-        pre = preprocess(cloud, cam)
-        stream = rasterize_splats(pre.splats, cam.width, cam.height)
-        _SCENARIO_MEMO[key] = Scenario(profile, cloud, cam, pre, stream)
-    return _SCENARIO_MEMO[key]
+    with _MEMO_LOCK:
+        if key not in _SCENARIO_MEMO:
+            profile = get_profile(name)
+            cloud = get_cloud(name, seed)
+            cam = camera if camera is not None else profile.camera()
+            pre = preprocess(cloud, cam)
+            stream = rasterize_splats(pre.splats, cam.width, cam.height)
+            _SCENARIO_MEMO[key] = Scenario(profile, cloud, cam, pre, stream)
+        return _SCENARIO_MEMO[key]
 
 
 def get_draw(name, variant, device_name="orin", seed=0):
@@ -84,17 +93,19 @@ def get_draw(name, variant, device_name="orin", seed=0):
     if variant not in VARIANTS:
         raise ValueError(f"unknown variant {variant!r}")
     key = (name, variant, device_name, seed)
-    if key not in _DRAW_MEMO:
-        scenario = get_scenario(name, seed)
-        device = make_device(device_name)
-        _DRAW_MEMO[key] = run_variant(scenario.stream, variant, device)
-    return _DRAW_MEMO[key]
+    with _MEMO_LOCK:
+        if key not in _DRAW_MEMO:
+            scenario = get_scenario(name, seed)
+            device = make_device(device_name)
+            _DRAW_MEMO[key] = run_variant(scenario.stream, variant, device)
+        return _DRAW_MEMO[key]
 
 
 def clear_cache():
     """Drop all memoised scenarios and draws (tests use this)."""
-    _SCENARIO_MEMO.clear()
-    _DRAW_MEMO.clear()
+    with _MEMO_LOCK:
+        _SCENARIO_MEMO.clear()
+        _DRAW_MEMO.clear()
 
 
 def content_key(payload):
@@ -266,12 +277,12 @@ class ResultCache:
         """Delete every stored entry, leftover tmp file and quarantined
         entry."""
         for pattern in ("*.json", "*.tmp"):
-            for path in self.root.glob(pattern):
+            for path in sorted(self.root.glob(pattern)):
                 path.unlink()
         qdir = self.quarantine_dir
         if qdir.is_dir():
-            for path in qdir.glob("*.json"):
+            for path in sorted(qdir.glob("*.json")):
                 path.unlink()
 
     def __len__(self):
-        return sum(1 for _ in self.root.glob("*.json"))
+        return sum(1 for _ in sorted(self.root.glob("*.json")))

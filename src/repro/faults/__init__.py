@@ -39,7 +39,6 @@ by the chaos tests and the ``--faults`` CLI option).
 from __future__ import annotations
 
 import contextlib
-import os
 import threading
 import time
 
@@ -53,6 +52,7 @@ from repro.faults.plan import (
     InjectedOSError,
     WatchdogTimeout,
 )
+from repro.knobs import env as _knobs_env
 
 __all__ = [
     "ENABLED", "POINTS", "KINDS",
@@ -195,7 +195,7 @@ def corrupt_detected(point, detail=None):
     raise CorruptDataError(point, detail)
 
 
-_ENV_PLAN = os.environ.get("REPRO_FAULTS", "").strip()
+_ENV_PLAN = _knobs_env("REPRO_FAULTS").strip()
 if _ENV_PLAN:
     install_plan(FaultPlan.parse(_ENV_PLAN))
 del _ENV_PLAN

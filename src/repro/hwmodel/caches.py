@@ -31,6 +31,7 @@ from collections import OrderedDict
 import numpy as np
 
 from repro import faults
+from repro.knobs import LRU_ENGINES
 
 #: Below this stream length the scalar loop wins (vectorisation overhead
 #: dominates); measured crossover is ~2-4k accesses.
@@ -70,8 +71,9 @@ def _scan_rounds(active, prev, window, hit, n_lines, budget, max_cap=None):
         offsets = np.cumsum(take) - take
         local = np.arange(total, dtype=np.int64) - offsets[owner]
         gathered = prev[(p + 1)[owner] + local] <= p[owner]
-        csum = np.concatenate(([0], np.cumsum(gathered)))
-        bounds = np.concatenate(([0], np.cumsum(take)))
+        zero = np.zeros(1, dtype=np.int64)
+        csum = np.concatenate((zero, np.cumsum(gathered)))
+        bounds = np.concatenate((zero, np.cumsum(take)))
         distinct = csum[bounds[1:]] - csum[bounds[:-1]]
         is_miss = distinct >= n_lines
         is_hit = (~is_miss) & (take >= window[active])
@@ -253,7 +255,8 @@ def replay_tag_stream(tags, n_lines, warm_items, write):
     inverse[order] = seg_id
     n_tags = int(seg_id[-1]) + 1
     seg_starts = np.flatnonzero(~same)
-    seg_last = np.concatenate((seg_starts[1:] - 1, [N - 1]))
+    seg_last = np.concatenate(
+        (seg_starts[1:] - 1, np.asarray([N - 1], dtype=np.int64)))
     uniq = sorted_tags[seg_starts]
     # Positions within a tag's sorted segment ascend (stable sort), so the
     # segment's last element is the tag's last occurrence.
@@ -434,14 +437,14 @@ class LRUCache:
         dirty bits); the vectorized engine is what lets the batched flush
         engine replay a whole draw's cache traffic at once.
         """
-        tags = np.asarray(tags)
+        tags = np.asarray(tags, dtype=np.int64)
         bounds = np.asarray(seg_splits, dtype=np.int64)
         if bounds.ndim != 1 or bounds.shape[0] < 1:
             raise ValueError("seg_splits must be a 1-D offset array")
         if (bounds[0] != 0 or bounds[-1] != tags.shape[0]
                 or np.any(np.diff(bounds) < 0)):
             raise ValueError("seg_splits must ascend from 0 to len(tags)")
-        if engine not in ("auto", "vector", "scalar"):
+        if engine not in LRU_ENGINES:
             raise ValueError(f"unknown engine {engine!r}")
         rule = faults.checkpoint("lru.replay") if faults.ENABLED else None
         use_vector = (engine == "vector"
@@ -467,7 +470,8 @@ class LRUCache:
                 self.writebacks += writebacks
                 self._lines = OrderedDict(final_items)
                 miss_cum = np.concatenate(
-                    ([0], np.cumsum(~stream_hit, dtype=np.int64)))
+                    (np.zeros(1, dtype=np.int64),
+                     np.cumsum(~stream_hit, dtype=np.int64)))
                 return miss_cum[bounds[1:]] - miss_cum[bounds[:-1]]
             # Budget exceeded (adversarial stream): scalar fallback below.
         return self._access_segmented_scalar(tags, bounds, write)

@@ -114,7 +114,8 @@ def _expand_segments(seg_starts, seg_ends):
     total = int(lengths.sum())
     if total == 0:
         return np.empty(0, dtype=np.int64), np.zeros(1, dtype=np.int64)
-    offsets = np.concatenate(([0], np.cumsum(lengths)))
+    offsets = np.concatenate(
+        (np.zeros(1, dtype=np.int64), np.cumsum(lengths)))
     rows = (np.arange(total, dtype=np.int64)
             + np.repeat(starts - offsets[:-1], lengths))
     return rows, offsets
@@ -241,10 +242,11 @@ def execute_flush_plan(plan, workload, config, stats, crop, zrop, shader,
         singles_f = np.bincount(surv_flush[merge.singles],
                                 minlength=n_flushes)
         out_counts = pairs_f + singles_f
+        zero = np.zeros(1, dtype=np.int64)
         out_splits = np.concatenate(
-            ([0], np.cumsum(out_counts))).astype(np.int64)
-        pair_offsets = np.concatenate(([0], np.cumsum(pairs_f)))[:-1]
-        single_offsets = np.concatenate(([0], np.cumsum(singles_f)))[:-1]
+            (zero, np.cumsum(out_counts))).astype(np.int64)
+        pair_offsets = np.concatenate((zero, np.cumsum(pairs_f)))[:-1]
+        single_offsets = np.concatenate((zero, np.cumsum(singles_f)))[:-1]
         f_pair = surv_flush[merge.first]
         f_single = surv_flush[merge.singles]
         pair_local = (np.arange(merge.n_pairs, dtype=np.int64)
@@ -326,8 +328,9 @@ def execute_flush_plan(plan, workload, config, stats, crop, zrop, shader,
         dedup_tags = np.empty(0, dtype=np.int64)
         dedup_flush = np.empty(0, dtype=np.int64)
     tag_splits = np.concatenate(
-        ([0], np.cumsum(np.bincount(dedup_flush,
-                                    minlength=n_flushes)))).astype(np.int64)
+        (np.zeros(1, dtype=np.int64),
+         np.cumsum(np.bincount(dedup_flush,
+                               minlength=n_flushes)))).astype(np.int64)
     crop_misses = crop.blend_plan(n_crop, frag_counts, dedup_tags,
                                   tag_splits)
 

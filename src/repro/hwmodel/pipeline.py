@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.hwmodel.config import GPUConfig
+from repro.knobs import PIPELINE_ENGINES
 from repro.hwmodel.crop import CropUnit
 from repro.hwmodel.flushplan import (
     apply_flush_counts,
@@ -297,7 +298,7 @@ class GraphicsPipeline:
     oracle of the flush-engine equivalence tests.
     """
 
-    ENGINES = ("batched", "scalar")
+    ENGINES = PIPELINE_ENGINES
 
     def __init__(self, config=None):
         self.config = config if config is not None else GPUConfig()

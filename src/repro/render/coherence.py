@@ -45,24 +45,21 @@ and coherence suites under both ``incremental`` and ``off``.
 
 from __future__ import annotations
 
-import os
 from collections import OrderedDict
 from time import perf_counter
 
 import numpy as np
 
-from repro import faults
+from repro import faults, knobs
+from repro.knobs import COHERENCE_MODES  # re-exported; declared centrally
 from repro.render.fragstream import arrival_chain_sliced
 from repro.utils.arrays import segment_boundaries
-
-#: Valid values of the ``coherence`` knob.
-COHERENCE_MODES = ("auto", "incremental", "off")
 
 
 def resolve_coherence(mode=None):
     """Normalise a ``coherence`` knob value (default ``$REPRO_COHERENCE``)."""
     if mode is None:
-        mode = os.environ.get("REPRO_COHERENCE", "auto")
+        mode = knobs.env("REPRO_COHERENCE")
     if mode not in COHERENCE_MODES:
         raise ValueError(
             f"unknown coherence mode {mode!r}; choose from {COHERENCE_MODES}")

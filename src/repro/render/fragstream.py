@@ -76,7 +76,8 @@ def arrival_chain_sliced(alpha_eff_sorted, starts, slice_bounds):
     # value (zero for each scanline's first pixel segment).
     offsets = lcs[starts - 1]  # wraps at starts[0] == 0; zeroed below
     offsets[np.searchsorted(starts, slice_bounds[:-1])] = 0.0
-    seg_lens = np.diff(np.concatenate((starts, [n])))
+    seg_lens = np.diff(np.concatenate(
+        (starts, np.asarray([n], dtype=np.int64))))
     lcs -= logs
     lcs -= np.repeat(offsets, seg_lens)
     arrival = np.exp(lcs, out=lcs)
@@ -249,7 +250,8 @@ class FragmentStream:
             nz = np.flatnonzero(counts)
             seg_counts = counts[nz]
             pix_sorted = np.repeat(nz, seg_counts)
-            starts = np.concatenate(([0], np.cumsum(seg_counts)[:-1]))
+            starts = np.concatenate(
+                (np.zeros(1, dtype=np.int64), np.cumsum(seg_counts)[:-1]))
             self._cache["pix_sorted"] = pix_sorted
             self._cache["pixel_starts"] = starts
         else:
@@ -321,7 +323,9 @@ class FragmentStream:
                 first = np.empty(seg_y.shape, dtype=bool)
                 first[0] = True
                 np.not_equal(seg_y[1:], seg_y[:-1], out=first[1:])
-                bounds = np.concatenate((starts[first], [len(self)]))
+                bounds = np.concatenate(
+                    (starts[first],
+                     np.asarray([len(self)], dtype=np.int64)))
             self._cache["scanline_bounds"] = bounds
         return self._cache["scanline_bounds"]
 
@@ -498,7 +502,8 @@ class FragmentStream:
             order = self._pixel_order
             pix_sorted = self._cache["pix_sorted"]
             starts = self._pixel_starts(pix_sorted)
-            lengths = np.diff(np.concatenate((starts, [len(self)])))
+            lengths = np.diff(np.concatenate(
+                (starts, np.asarray([len(self)], dtype=np.int64))))
             local = np.arange(len(self), dtype=np.int64) - np.repeat(starts, lengths)
             sentinel = np.int64(len(self) + 1)
             term_rank = np.full(self.n_pixels, sentinel, dtype=np.int64)

@@ -49,21 +49,17 @@ flush suites under both ``REPRO_IR=frameir`` and ``REPRO_IR=legacy``.
 
 from __future__ import annotations
 
-import os
-
 import numpy as np
 
-from repro import faults
+from repro import faults, knobs
+from repro.knobs import IR_MODES  # re-exported; declared centrally
 from repro.utils.arrays import popcount4, segment_boundaries
-
-#: Valid values of the ``ir`` digestion knob.
-IR_MODES = ("auto", "frameir", "legacy")
 
 
 def resolve_ir(ir=None):
     """Normalise an ``ir`` knob value, defaulting to ``$REPRO_IR`` / auto."""
     if ir is None:
-        ir = os.environ.get("REPRO_IR", "auto")
+        ir = knobs.env("REPRO_IR")
     if ir not in IR_MODES:
         raise ValueError(f"unknown ir mode {ir!r}; choose from {IR_MODES}")
     return ir
@@ -314,7 +310,8 @@ class FrameIR:
         qy_row = y >> 1
         pair_key = prim * np.int64(-(-height // 2)) + qy_row
         pstarts = segment_boundaries(pair_key)
-        pends = np.concatenate((pstarts[1:], [self.n_rows]))
+        pends = np.concatenate(
+            (pstarts[1:], np.asarray([self.n_rows], dtype=np.int64)))
         two = (pends - pstarts) == 2
         first_parity_odd = (y[pstarts] & 1) == 1
         e_row = np.where(two | ~first_parity_odd, pstarts, -1)
@@ -371,7 +368,8 @@ class FrameIR:
         t1 = run_b >> 3
         c_counts = t1 - t0 + 1
         n_chunks = int(c_counts.sum())
-        c_offsets = np.concatenate(([0], np.cumsum(c_counts)[:-1]))
+        c_offsets = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(c_counts)[:-1]))
         # Fused ragged expansion: ``repeat(base - offset)`` plus a global
         # arange *is* ``base + local``.
         c_tx = (np.repeat(t0 - c_offsets, c_counts)
@@ -401,7 +399,8 @@ class FrameIR:
         # :meth:`QuadIR.meta` / :meth:`QuadIR.slots`) once the draw
         # touches them.
         nq_c = c_qb - c_qa + 1
-        q_offsets = np.concatenate(([0], np.cumsum(nq_c)))
+        q_offsets = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(nq_c)))
         n_quads = int(q_offsets[-1])
 
         groups = _build_groups(c_key, c_pair, c_tx, c_qa, c_qb, q_offsets,

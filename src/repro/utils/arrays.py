@@ -53,6 +53,7 @@ def segmented_sum(values, segment_ids, starts=None):
     if values.shape[0] == 0:
         shape = (0,) if values.ndim == 1 else (0, values.shape[1])
         return np.empty(shape, dtype=values.dtype)
+    # repro-lint: ok(R1): reference helper, no golden-path float callers; grouping stable per layout
     return np.add.reduceat(values, starts, axis=0)
 
 

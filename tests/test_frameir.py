@@ -295,3 +295,31 @@ class TestIRKnob:
                                   ir="frameir")
         assert isinstance(stream.frameir, FrameIR)
         assert stream.frameir.n_fragments == len(stream)
+
+
+class TestDtypePins:
+    """Golden-equality check for the R3 dtype annotations.
+
+    The explicit ``dtype=`` pins added to the columnar modules
+    (``frameir.py``, ``fragstream.py``, ``flushplan.py``, ``caches.py``)
+    must *document* the dtypes the golden outputs already had, not change
+    them: every quad-table and workload column is exactly ``int64`` on
+    both digestion paths.
+    """
+
+    def test_columns_are_int64_on_both_paths(self):
+        rng = np.random.default_rng(fuzz_seed("dtype-pins"))
+        cloud = random_cloud(rng, 90)
+        cam = camera()
+        pre = preprocess(cloud, cam)
+        stream = rasterize_splats(pre.splats, cam.width, cam.height,
+                                  ir="frameir")
+        assert len(stream) > 0
+        for ir in ("frameir", "legacy"):
+            table = stream.quad_table(0.996, 0, ir=ir)
+            for name in TABLE_COLUMNS:
+                assert getattr(table, name).dtype == np.int64, (ir, name)
+        config = variant_config("baseline")
+        for workload in both_workloads(stream, config):
+            for name in GROUP_COLUMNS:
+                assert getattr(workload, name).dtype == np.int64, name
