@@ -1,12 +1,17 @@
 """Executor-shared-state rule R6.
 
 :func:`repro.engine.executor.run_frames` fans work out to worker
-threads; any module-level mutable global written by code reachable from
-a ``run_frames`` call site is shared mutable state those workers race
+threads — and the serving layer's worker pool
+(:meth:`repro.serve.service.RenderService._worker_loop` and its request
+handler ``_handle_request``) adds a second, longer-lived family of
+concurrent entry points.  Any module-level mutable global written by
+code reachable from either is shared mutable state those workers race
 on.  The rule:
 
 1. seeds a *reachability walk* at every module that defines or calls
-   ``run_frames`` (``engine/executor.py`` plus its call sites);
+   one of the concurrency entry points in :data:`_ENTRY_POINTS`
+   (``engine/executor.py`` and ``serve/service.py`` plus their call
+   sites);
 2. follows the static ``import repro...`` graph from those roots — an
    over-approximation of what worker callables can touch;
 3. inside every reachable module, finds module-level mutable literals
@@ -41,6 +46,12 @@ _MUTABLE_CONSTRUCTORS = ("dict", "list", "set", "defaultdict",
 _MUTATORS = ("append", "extend", "insert", "add", "update", "setdefault",
              "pop", "popitem", "clear", "remove", "discard",
              "appendleft", "extendleft")
+
+#: Functions whose definitions/call sites root the reachability walk:
+#: the frame executor's fan-out plus the serving layer's worker-pool
+#: entry point and request handler (worker threads live across requests
+#: there, so anything they can import is executor-reachable too).
+_ENTRY_POINTS = ("run_frames", "_worker_loop", "_handle_request")
 
 
 def _is_mutable_value(node):
@@ -110,11 +121,11 @@ class ExecutorSharedStateRule(Rule):
         for module in context.modules:
             for node in module.walk(ast.Call):
                 name = call_name(node)
-                if name and name.split(".")[-1] == "run_frames":
+                if name and name.split(".")[-1] in _ENTRY_POINTS:
                     roots.add(module)
             for node in module.walk((ast.FunctionDef,
                                      ast.AsyncFunctionDef)):
-                if node.name == "run_frames":
+                if node.name in _ENTRY_POINTS:
                     roots.add(module)
         reachable, frontier = set(roots), list(roots)
         while frontier:
@@ -185,4 +196,4 @@ class ExecutorSharedStateRule(Rule):
                     f"{mutable[name].lineno}) is written in "
                     f"{enclosing.name if enclosing else '<module>'}() "
                     f"without a lock; this module is reachable from "
-                    f"run_frames workers")
+                    f"concurrent workers (run_frames / serve pool)")

@@ -169,8 +169,13 @@ class ResultCache:
       tmp-path race between concurrent writers of one key) and retries
       transient ``OSError`` with exponential backoff, degrading to
       uncached execution (``False``) when the disk stays unhappy;
-    * ``stats`` counts hits / misses / quarantines / store retries and
-      failures for observability.
+    * ``max_bytes`` bounds the on-disk footprint with a real LRU sweep:
+      stores that push the summed entry size over the budget evict the
+      least-recently-*used* entries (hits touch mtime, so recency means
+      access, not write) until the budget holds again;
+    * ``counters`` tracks hits / misses / quarantines / evictions /
+      store retries and failures, and :meth:`stats` snapshots them
+      together with the current entry count, on-disk bytes and hit rate.
     """
 
     #: Attempts per :meth:`store` before degrading to uncached execution.
@@ -178,11 +183,13 @@ class ResultCache:
     #: Base backoff between store attempts, in seconds (doubles per retry).
     BACKOFF_S = 0.01
 
-    def __init__(self, root):
+    def __init__(self, root, max_bytes=None):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
-        self.stats = {"hits": 0, "misses": 0, "quarantined": 0,
-                      "store_retries": 0, "store_failures": 0}
+        self.max_bytes = None if max_bytes is None else int(max_bytes)
+        self.counters = {"hits": 0, "misses": 0, "quarantined": 0,
+                         "evicted": 0, "store_retries": 0,
+                         "store_failures": 0}
 
     def _path(self, key):
         return self.root / f"{key}.json"
@@ -202,7 +209,7 @@ class ResultCache:
                 path.unlink()
             except OSError:
                 return  # Unreachable entry: leave it for clear().
-        self.stats["quarantined"] += 1
+        self.counters["quarantined"] += 1
 
     def load(self, key):
         """The verified payload dict for ``key``, or ``None`` on a miss.
@@ -218,7 +225,7 @@ class ResultCache:
             with open(path, "r", encoding="utf-8") as fh:
                 text = fh.read()
         except (OSError, faults.FaultInjected):
-            self.stats["misses"] += 1
+            self.counters["misses"] += 1
             return None
         if rule is not None:
             text = _corrupt_text(text)
@@ -228,17 +235,21 @@ class ResultCache:
                 raise ValueError("payload is not an object")
         except ValueError:
             self._quarantine(path, "corrupt")
-            self.stats["misses"] += 1
+            self.counters["misses"] += 1
             return None
         if payload.get("schema") != CACHE_SCHEMA:
             self._quarantine(path, "schema")
-            self.stats["misses"] += 1
+            self.counters["misses"] += 1
             return None
         if payload.get("checksum") != payload_checksum(payload):
             self._quarantine(path, "checksum")
-            self.stats["misses"] += 1
+            self.counters["misses"] += 1
             return None
-        self.stats["hits"] += 1
+        self.counters["hits"] += 1
+        try:
+            os.utime(path)  # recency for the LRU sweep = last *access*
+        except OSError:
+            pass
         return payload
 
     def store(self, key, payload):
@@ -261,6 +272,7 @@ class ResultCache:
                 with open(tmp, "w", encoding="utf-8") as fh:
                     fh.write(blob if rule is None else _corrupt_text(blob))
                 tmp.replace(path)
+                self._evict_over_budget()
                 return True
             except (OSError, faults.FaultInjected):
                 try:
@@ -268,10 +280,59 @@ class ResultCache:
                 except OSError:
                     pass
                 if attempt + 1 < self.MAX_STORE_ATTEMPTS:
-                    self.stats["store_retries"] += 1
+                    self.counters["store_retries"] += 1
                     time.sleep(self.BACKOFF_S * (2 ** attempt))
-        self.stats["store_failures"] += 1
+        self.counters["store_failures"] += 1
         return False
+
+    def _entries(self):
+        """``(path, size, mtime)`` for every stored entry (best effort)."""
+        entries = []
+        for path in sorted(self.root.glob("*.json")):
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            entries.append((path, st.st_size, st.st_mtime))
+        return entries
+
+    def _evict_over_budget(self):
+        """LRU-sweep stored entries until ``max_bytes`` holds again.
+
+        Recency is the entry's mtime — refreshed on every verified load —
+        so the sweep drops the least-recently-*used* entries first.  A
+        racing delete (another process sweeping too) just means less work
+        left for us; ``OSError`` on unlink is ignored.
+        """
+        if self.max_bytes is None:
+            return
+        entries = self._entries()
+        total = sum(size for _, size, _ in entries)
+        if total <= self.max_bytes:
+            return
+        # Oldest access first; path breaks exact mtime ties stably.
+        entries.sort(key=lambda entry: (entry[2], entry[0].name))
+        for path, size, _ in entries:
+            if total <= self.max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            self.counters["evicted"] += 1
+
+    def stats(self):
+        """JSON-safe snapshot: counters + current footprint + hit rate."""
+        entries = self._entries()
+        lookups = self.counters["hits"] + self.counters["misses"]
+        return {
+            **self.counters,
+            "entries": len(entries),
+            "bytes": int(sum(size for _, size, _ in entries)),
+            "max_bytes": self.max_bytes,
+            "hit_rate": (self.counters["hits"] / lookups if lookups else 0.0),
+        }
 
     def clear(self):
         """Delete every stored entry, leftover tmp file and quarantined

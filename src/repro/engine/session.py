@@ -176,8 +176,13 @@ class TrajectoryResult:
             by_point[point] = by_point.get(point, 0) + 1
         summary["recovered_by"] = by_rung
         summary["by_point"] = by_point
-        summary["wall_ms"] = float(sum(inc.get("wall_ms", 0.0)
-                                       for inc in incidents))
+        # healing_ms is the wall clock burned by *failed* attempts — the
+        # latency tax paid to heal — the serving layer attributes slow
+        # responses to it.  wall_ms is the historical alias.
+        healing_ms = float(sum(inc.get("wall_ms", 0.0)
+                               for inc in incidents))
+        summary["healing_ms"] = healing_ms
+        summary["wall_ms"] = healing_ms
         return summary
 
     def to_dict(self):
@@ -510,7 +515,7 @@ class RenderSession:
         return self.backend.render_stream(stream, pre, crop_cache=crop_cache)
 
     def run(self, n_views=8, jobs=1, keep_results=False, raster_jobs=None,
-            collect_stages=False):
+            collect_stages=False, crop_cache=None):
         """Simulate ``n_views`` frames along the scene's orbit trajectory.
 
         ``keep_results=True`` attaches each frame's full
@@ -525,6 +530,12 @@ class RenderSession:
         to ``jobs``, which fans whole frames out.  ``collect_stages=True``
         accumulates a wall-clock per-stage breakdown onto the result
         (serial runs only).
+
+        ``crop_cache`` hands in a caller-owned warm CROP cache instead of
+        building a fresh one (the serving layer persists one per resident
+        scene, so warm requests reuse it *across* trajectories).  Its
+        contents depend on everything previously rendered through it, so
+        such runs always bypass the disk result cache.
         """
         if n_views <= 0:
             raise ValueError(f"n_views must be positive, got {n_views}")
@@ -532,11 +543,14 @@ class RenderSession:
             raise ValueError(
                 "collect_stages sums wall-clock per stage and requires "
                 "serial frame execution (jobs=1)")
+        caller_crop_cache = crop_cache is not None
         key = None
         # Stage collection measures *this* run's wall clock; a cache hit
         # would return records with no breakdown, so it bypasses the cache.
+        # A caller-owned CROP cache carries request history, so its runs
+        # are not content-addressable either.
         if (self.result_cache is not None and self._cacheable
-                and not collect_stages):
+                and not collect_stages and not caller_crop_cache):
             key = engine_cache.trajectory_key(
                 self.profile, self.seed, self.backend_spec,
                 self.baseline_spec, self.device_name, n_views,
@@ -555,13 +569,13 @@ class RenderSession:
         # how fast digestion converges.
         carrier = None if parallel else self._carrier()
 
-        crop_cache = None
-        if self.warm_crop_cache:
+        if self.warm_crop_cache or caller_crop_cache:
             if jobs is not None and jobs > 1:
                 raise ValueError(
                     "warm_crop_cache carries state across frames and "
                     "requires serial execution (jobs=1)")
-            crop_cache = self.backend.new_crop_cache()
+            if not caller_crop_cache:
+                crop_cache = self.backend.new_crop_cache()
             if crop_cache is None:
                 raise ValueError(
                     f"backend {self.backend_spec!r} has no CROP cache to "

@@ -1,0 +1,156 @@
+"""Service-level circuit breaker over the per-frame healing ladder.
+
+The engine already heals individual frames (PR 7's degradation ladder),
+but healing is *reactive*: a faulting fast path still burns a failed
+attempt per frame before the retained oracle rung produces the result.
+When faults cluster — a bad deploy, a poisoned cache, a degraded box —
+the service should stop paying that tax per frame and route new work
+straight onto the cheap rungs.  That is this breaker: a rolling window
+of request health drives a three-state machine, and open states
+downgrade *new admissions* to the retained bit-exact oracle knobs
+(``coherence="off"``, ``ir="legacy"``), so degraded service stays
+byte-for-byte correct — only the fast paths (and their failure modes)
+are bypassed.
+
+Determinism: all transitions are **count-based** (window occupancy,
+completion counts), never wall-clock — a fixed request/fault sequence
+replays the exact same transition trail, which the chaos tests assert.
+
+States
+------
+``closed``
+    Healthy: requests run with their primary knobs.  Completions enter
+    the rolling window; when the window is full and its unhealthy
+    fraction reaches ``open_threshold``, the breaker opens.
+``open``
+    Storm: new admissions run degraded.  After ``cooldown`` degraded
+    completions the breaker moves to half-open to probe.
+``half_open``
+    One probe request at a time runs with primary knobs (the rest stay
+    degraded).  A clean probe closes the breaker; an unhealthy one
+    reopens it.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+
+STATES = ("closed", "open", "half_open")
+
+
+class ServiceBreaker:
+    """Rolling-incident-rate breaker (see module docstring).
+
+    ``window`` completions are tracked while closed; the breaker opens
+    when at least ``ceil(open_threshold * window)`` of a full window
+    were unhealthy (the request failed, or healed through incidents).
+    ``cooldown`` is the number of degraded completions served while open
+    before probing.  ``enabled=False`` pins the breaker closed (the
+    knob for A/B benchmarking the breaker itself).
+    """
+
+    def __init__(self, window=8, open_threshold=0.5, cooldown=4,
+                 enabled=True):
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if not 0.0 < open_threshold <= 1.0:
+            raise ValueError(
+                f"open_threshold must be in (0, 1], got {open_threshold}")
+        if cooldown < 1:
+            raise ValueError(f"cooldown must be >= 1, got {cooldown}")
+        self.window = int(window)
+        self.open_threshold = float(open_threshold)
+        self.cooldown = int(cooldown)
+        self.enabled = bool(enabled)
+        self._open_at = math.ceil(self.open_threshold * self.window)
+        self._lock = threading.Lock()
+        self._results = deque(maxlen=self.window)
+        self._state = "closed"
+        self._open_completions = 0
+        self._probe_inflight = False
+        self._completions = 0
+        #: Transition trail: ``{"seq", "from", "to", "completions"}``
+        #: dicts in occurrence order (deterministic for a fixed request
+        #: sequence — counts, never timestamps).
+        self.transitions = []
+
+    @property
+    def state(self):
+        return self._state
+
+    def _transition(self, new_state):
+        self.transitions.append({
+            "seq": len(self.transitions),
+            "from": self._state,
+            "to": new_state,
+            "completions": self._completions,
+        })
+        self._state = new_state
+
+    def admission_mode(self):
+        """Knob routing for one new admission.
+
+        ``"primary"`` — run the request's own knobs; ``"degraded"`` —
+        run the oracle knobs; ``"probe"`` — primary knobs, and this
+        request's completion decides the half-open verdict (at most one
+        probe is in flight at a time).
+        """
+        if not self.enabled:
+            return "primary"
+        with self._lock:
+            if self._state == "closed":
+                return "primary"
+            if self._state == "open":
+                return "degraded"
+            if not self._probe_inflight:
+                self._probe_inflight = True
+                return "probe"
+            return "degraded"
+
+    def record(self, mode, unhealthy):
+        """Feed one completion back (``mode`` from :meth:`admission_mode`).
+
+        ``unhealthy`` means the request failed or healed through one or
+        more incidents — either way the fast path misbehaved.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            self._completions += 1
+            if self._state == "closed":
+                self._results.append(bool(unhealthy))
+                if (len(self._results) == self.window
+                        and sum(self._results) >= self._open_at):
+                    self._results.clear()
+                    self._open_completions = 0
+                    self._transition("open")
+            elif self._state == "open":
+                self._open_completions += 1
+                if self._open_completions >= self.cooldown:
+                    self._probe_inflight = False
+                    self._transition("half_open")
+            elif mode == "probe":
+                self._probe_inflight = False
+                if unhealthy:
+                    self._open_completions = 0
+                    self._transition("open")
+                else:
+                    self._results.clear()
+                    self._transition("closed")
+            # Degraded completions while half-open carry no verdict.
+
+    def stats(self):
+        """JSON-safe snapshot of the breaker's state and history."""
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "state": self._state,
+                "window": self.window,
+                "open_threshold": self.open_threshold,
+                "cooldown": self.cooldown,
+                "completions": self._completions,
+                "window_unhealthy": int(sum(self._results)),
+                "transitions": [dict(t) for t in self.transitions],
+            }

@@ -254,7 +254,7 @@ class TestCacheHardening:
         cache = ResultCache(tmp_path)
         with faults.active("cache.store:oserror,times=1"):
             assert cache.store("k1", {"value": 42}) is True
-        assert cache.stats["store_retries"] == 1
+        assert cache.counters["store_retries"] == 1
         assert len(cache) == 1
         assert cache.load("k1")["value"] == 42
 
@@ -263,7 +263,7 @@ class TestCacheHardening:
         cache = ResultCache(tmp_path)
         with faults.active("cache.store:oserror"):
             assert cache.store("k1", {"value": 42}) is False
-        assert cache.stats["store_failures"] == 1
+        assert cache.counters["store_failures"] == 1
         assert len(cache) == 0
         assert list(tmp_path.glob("*.tmp")) == []
 
@@ -286,7 +286,7 @@ class TestCacheHardening:
         # re-stored, so the cache healed itself.
         assert len(cache) == 1
         assert list(cache.quarantine_dir.glob("*.checksum.json"))
-        assert cache.stats["quarantined"] == 1
+        assert cache.counters["quarantined"] == 1
         follow_up = RenderSession(SCENE, result_cache=cache).run(
             n_views=N_VIEWS)
         assert follow_up.from_cache
