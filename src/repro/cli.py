@@ -31,7 +31,7 @@ from repro.engine.session import RenderSession
 from repro.experiments.runner import format_table
 from repro.gaussians.preprocess import preprocess
 from repro.hwmodel.report import compare_variants, draw_report
-from repro.knobs import COHERENCE_MODES, IR_MODES
+from repro.knobs import COHERENCE_MODES, IR_MODES, SWMODEL_MODES
 from repro.perf.report import (
     check_report,
     load_report,
@@ -119,8 +119,8 @@ def cmd_trajectory(args):
         args.scene, backend=args.backend, baseline=baseline,
         device=args.device, seed=args.seed,
         warm_crop_cache=args.warm_crop_cache, result_cache=cache,
-        ir=args.ir, coherence=args.coherence, strict=args.strict,
-        watchdog_ms=args.watchdog_ms)
+        ir=args.ir, coherence=args.coherence, swmodel=args.swmodel,
+        strict=args.strict, watchdog_ms=args.watchdog_ms)
     # --faults overrides any $REPRO_FAULTS plan for this run; without it
     # the environment plan (if any) stays in effect.
     plan = faults.FaultPlan.parse(args.faults) if args.faults else None
@@ -263,7 +263,7 @@ def cmd_bench(args):
     for name in suites:
         run = run_suite(name, quick=args.quick, scene=args.scene,
                         repeat=args.repeat, ir=args.ir,
-                        coherence=args.coherence)
+                        coherence=args.coherence, swmodel=args.swmodel)
         report = suite_report(run, baseline=baseline)
         rows = []
         for row in report["benchmarks"]:
@@ -425,6 +425,13 @@ def build_parser():
                                  "digested state (bit-identical; serial "
                                  "only for 'incremental'; default "
                                  "$REPRO_COHERENCE or auto)")
+    trajectory.add_argument("--swmodel", default=None,
+                            choices=SWMODEL_MODES,
+                            help="software-path model engine of the cuda "
+                                 "backends: FrameIR-native (auto/frameir) "
+                                 "or the legacy fragment-sort oracle "
+                                 "(bit-identical; default $REPRO_SWMODEL "
+                                 "or auto)")
     trajectory.add_argument("--faults", default=None,
                             help="seeded fault-injection plan, e.g. "
                                  "'seed=7; digest:raise,times=1; "
@@ -525,6 +532,11 @@ def build_parser():
                        help="cross-frame digestion reuse mode for session "
                             "suites (bit-identical; default "
                             "$REPRO_COHERENCE or auto)")
+    bench.add_argument("--swmodel", default=None,
+                       choices=SWMODEL_MODES,
+                       help="software-path model engine of the trajectory "
+                            "suite's cuda rows (bit-identical; default "
+                            "$REPRO_SWMODEL or auto)")
 
     experiment = sub.add_parser(
         "experiment", help="regenerate a paper table/figure")

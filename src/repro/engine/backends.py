@@ -49,12 +49,13 @@ def device_kernel_model(device):
     return SWKernelModel(issue_slots=float(device.sm_issue_slots_per_cycle))
 
 
-def make_cuda_renderer(device_name="orin", early_term=True):
+def make_cuda_renderer(device_name="orin", early_term=True, ir=None,
+                       swmodel=None):
     """A CUDA-path renderer matched to the device's clock and SM count."""
     device = make_device(device_name)
     return CudaRenderer(kernel_model=device_kernel_model(device),
                         frequency_hz=device.frequency_hz(),
-                        early_term=early_term)
+                        early_term=early_term, ir=ir, swmodel=swmodel)
 
 
 class FrameResult:
@@ -179,14 +180,20 @@ class HardwareBackend:
 
 
 class CudaBackend:
-    """CUDA-style software rendering (Figure 5's SW path)."""
+    """CUDA-style software rendering (Figure 5's SW path).
 
-    def __init__(self, spec, device, early_term):
+    ``ir`` selects the digestion path of streams this backend rasterises
+    itself, and ``swmodel`` the warp-model engine (FrameIR-backed or the
+    fragment-sort oracle, see :mod:`repro.swrender.warp_model`) — both
+    bit-identical mode pairs.
+    """
+
+    def __init__(self, spec, device, early_term, ir=None, swmodel=None):
         self.spec = spec
         self.renderer = CudaRenderer(
             kernel_model=device_kernel_model(device),
             frequency_hz=device.frequency_hz(),
-            early_term=early_term)
+            early_term=early_term, ir=ir, swmodel=swmodel)
 
     def render(self, cloud, camera, crop_cache=None):
         self._check_no_cache(crop_cache)
@@ -207,12 +214,12 @@ class CudaBackend:
     def _wrap(self, res):
         return FrameResult(
             backend=self.spec,
-            image=res.image,
-            alpha=res.alpha,
+            image_source=res,
             cycles=res.timing.total_cycles,
             ms=res.timing.total_ms(),
             fps=res.timing.fps(),
             kernels=res.timing.breakdown_ms(),
+            wall_ms=res.wall_ms,
             et_ratio=res.stream.termination_ratio(self.renderer.threshold),
             n_fragments=len(res.stream),
             pipeline_stats=None,
@@ -261,7 +268,7 @@ _REGISTRY = {}
 
 def register_backend(spec, factory):
     """Register ``factory(spec, device, ir=None, coherence=None,
-    engine=None) -> backend`` under ``spec``."""
+    engine=None, swmodel=None) -> backend`` under ``spec``."""
     if spec in _REGISTRY:
         raise ValueError(f"backend {spec!r} is already registered")
     # repro-lint: ok(R6): populated once at import time before workers exist; read-only afterwards
@@ -291,7 +298,7 @@ def backend_spec(spec_or_backend):
 
 
 def resolve_backend(spec_or_backend, device=None, device_name="orin",
-                    ir=None, coherence=None, engine=None):
+                    ir=None, coherence=None, engine=None, swmodel=None):
     """Return a backend instance for a spec string *or* a ready instance.
 
     Backend instances (anything implementing :class:`RendererBackend`)
@@ -302,20 +309,23 @@ def resolve_backend(spec_or_backend, device=None, device_name="orin",
         return spec_or_backend
     return create_backend(backend_spec(spec_or_backend), device=device,
                           device_name=device_name, ir=ir,
-                          coherence=coherence, engine=engine)
+                          coherence=coherence, engine=engine,
+                          swmodel=swmodel)
 
 
 def create_backend(spec, device=None, device_name="orin", ir=None,
-                   coherence=None, engine=None):
+                   coherence=None, engine=None, swmodel=None):
     """Instantiate the backend registered under ``spec``.
 
     ``device`` (a :class:`~repro.hwmodel.config.GPUConfig`) overrides the
     ``device_name`` preset.  ``ir`` sets the backend's digestion mode
     (see :mod:`repro.render.frameir`), ``coherence`` its standalone
-    cross-frame reuse mode (see :mod:`repro.render.coherence`), and
+    cross-frame reuse mode (see :mod:`repro.render.coherence`),
     ``engine`` the hardware pipeline's flush engine (``"batched"`` /
-    ``"scalar"``, ``None`` = backend default); all are ignored by
-    backends they don't apply to.
+    ``"scalar"``, ``None`` = backend default), and ``swmodel`` the
+    software path's model engine (see
+    :mod:`repro.swrender.warp_model`); all are ignored by backends they
+    don't apply to.
     """
     try:
         factory = _REGISTRY[spec]
@@ -325,10 +335,14 @@ def create_backend(spec, device=None, device_name="orin", ir=None,
         ) from None
     if device is None:
         device = make_device(device_name)
-    if engine is None:
-        # Factories registered before the engine knob existed keep working.
-        return factory(spec, device, ir=ir, coherence=coherence)
-    return factory(spec, device, ir=ir, coherence=coherence, engine=engine)
+    # Factories registered before the newer knobs existed keep working:
+    # only pass a knob the caller actually set.
+    kwargs = {"ir": ir, "coherence": coherence}
+    if engine is not None:
+        kwargs["engine"] = engine
+    if swmodel is not None:
+        kwargs["swmodel"] = swmodel
+    return factory(spec, device, **kwargs)
 
 
 def _register_defaults():
@@ -336,19 +350,23 @@ def _register_defaults():
         register_backend(
             f"hw:{variant}",
             lambda spec, device, ir=None, coherence=None, engine=None,
-                   v=variant:
+                   swmodel=None, v=variant:
                 HardwareBackend(spec, v, device,
                                 engine=engine or "batched",
                                 ir=ir, coherence=coherence))
     register_backend(
-        "cuda", lambda spec, device, ir=None, coherence=None, engine=None:
-            CudaBackend(spec, device, early_term=False))
+        "cuda", lambda spec, device, ir=None, coherence=None, engine=None,
+            swmodel=None:
+            CudaBackend(spec, device, early_term=False, ir=ir,
+                        swmodel=swmodel))
     register_backend(
-        "cuda+et", lambda spec, device, ir=None, coherence=None, engine=None:
-            CudaBackend(spec, device, early_term=True))
+        "cuda+et", lambda spec, device, ir=None, coherence=None, engine=None,
+            swmodel=None:
+            CudaBackend(spec, device, early_term=True, ir=ir,
+                        swmodel=swmodel))
     register_backend(
         "reference", lambda spec, device, ir=None, coherence=None,
-            engine=None: ReferenceBackend(spec, device, ir=ir))
+            engine=None, swmodel=None: ReferenceBackend(spec, device, ir=ir))
 
 
 _register_defaults()

@@ -33,6 +33,7 @@ from repro.gaussians.preprocess import preprocess
 from repro.render.coherence import FrameCoherence, resolve_coherence
 from repro.render.frameir import resolve_ir
 from repro.render.splat_raster import rasterize_splats
+from repro.swrender.warp_model import resolve_swmodel
 from repro.workloads.catalog import SceneProfile, build_scene, get_profile
 from repro.workloads.viewpoints import scene_viewpoints
 
@@ -294,22 +295,26 @@ class RenderSession:
     #: The degradation ladder, least- to most-degraded.  Every rung is
     #: bit-identical in its outputs; later rungs bypass progressively
     #: more of the vectorized fast paths (and their failure modes).
-    LADDER = ("primary", "retry", "coherence=off", "ir=legacy",
-              "engine=scalar")
+    LADDER = ("primary", "retry", "coherence=off", "swmodel=legacy",
+              "ir=legacy", "engine=scalar")
 
-    #: rung -> (use coherence carrier, ir override, flush-engine override).
+    #: rung -> (use coherence carrier, ir override, flush-engine override,
+    #: swmodel override).  The deeper rungs also pin ``swmodel`` to the
+    #: fragment-sort oracle: ``ir=legacy`` streams carry no FrameIR for
+    #: the software models to read.
     _RUNG_KNOBS = {
-        "primary": (True, None, None),
-        "retry": (True, None, None),
-        "coherence=off": (False, None, None),
-        "ir=legacy": (False, "legacy", None),
-        "engine=scalar": (False, "legacy", "scalar"),
+        "primary": (True, None, None, None),
+        "retry": (True, None, None, None),
+        "coherence=off": (False, None, None, None),
+        "swmodel=legacy": (False, None, None, "legacy"),
+        "ir=legacy": (False, "legacy", None, "legacy"),
+        "engine=scalar": (False, "legacy", "scalar", "legacy"),
     }
 
     def __init__(self, scene, backend="hw:het+qm", baseline="auto",
                  device="orin", seed=0, warm_crop_cache=False,
-                 result_cache=None, ir=None, coherence=None, strict=False,
-                 watchdog_ms=None):
+                 result_cache=None, ir=None, coherence=None, swmodel=None,
+                 strict=False, watchdog_ms=None):
         self.profile = (scene if isinstance(scene, SceneProfile)
                         else get_profile(scene))
         # Specs are normalised once here: ``backend``/``baseline`` may be
@@ -326,8 +331,11 @@ class RenderSession:
         self.seed = int(seed)
         # None stays None so the $REPRO_IR default remains best-effort.
         self.ir = resolve_ir(ir) if ir is not None else None
+        # Same contract for the software-path model knob.
+        self.swmodel = resolve_swmodel(swmodel) if swmodel is not None \
+            else None
         self.backend = resolve_backend(backend, device_name=device,
-                                       ir=self.ir)
+                                       ir=self.ir, swmodel=self.swmodel)
         if baseline == "auto":
             spec = self.backend_spec
             baseline = ("hw:baseline"
@@ -335,7 +343,7 @@ class RenderSession:
                         else None)
         self.baseline_spec = backend_spec(baseline) if baseline else None
         self.baseline = (resolve_backend(baseline, device_name=device,
-                                         ir=self.ir)
+                                         ir=self.ir, swmodel=self.swmodel)
                          if baseline else None)
         self.warm_crop_cache = bool(warm_crop_cache)
         self.result_cache = result_cache
@@ -384,25 +392,31 @@ class RenderSession:
 
     def _rung_backends(self, rung):
         """``(backend, baseline, use_carrier, ir)`` for one ladder rung."""
-        use_carrier, ir, engine = self._RUNG_KNOBS[rung]
-        if ir is None and engine is None:
+        use_carrier, ir, engine, rung_swmodel = self._RUNG_KNOBS[rung]
+        if ir is None and engine is None and rung_swmodel is None:
             return self.backend, self.baseline, use_carrier, self.ir
+        # Knobs a rung leaves unset fall back to the session's own
+        # settings, so a shallow rung doesn't silently degrade the rest.
+        eff_ir = ir if ir is not None else self.ir
+        key_tail = (ir, engine, rung_swmodel)
         with self._degraded_lock:
-            backend = self._degraded.get(("backend", ir, engine))
+            backend = self._degraded.get(("backend",) + key_tail)
             if backend is None:
                 backend = resolve_backend(self.backend_spec,
                                           device_name=self.device_name,
-                                          ir=ir, engine=engine)
-                self._degraded[("backend", ir, engine)] = backend
+                                          ir=eff_ir, engine=engine,
+                                          swmodel=rung_swmodel)
+                self._degraded[("backend",) + key_tail] = backend
             baseline = None
             if self.baseline is not None:
-                baseline = self._degraded.get(("baseline", ir, engine))
+                baseline = self._degraded.get(("baseline",) + key_tail)
                 if baseline is None:
                     baseline = resolve_backend(self.baseline_spec,
                                                device_name=self.device_name,
-                                               ir=ir, engine=engine)
-                    self._degraded[("baseline", ir, engine)] = baseline
-        return backend, baseline, use_carrier, ir
+                                               ir=eff_ir, engine=engine,
+                                               swmodel=rung_swmodel)
+                    self._degraded[("baseline",) + key_tail] = baseline
+        return backend, baseline, use_carrier, eff_ir
 
     def _render_frame_attempt(self, task, backend, baseline, carrier,
                               crop_cache, raster_jobs, keep_results, ir,

@@ -7,6 +7,7 @@ demonstrating the cost is the lock, not the raster operations.
 
 from __future__ import annotations
 
+from repro.engine.cache import get_draw
 from repro.experiments.runner import format_table, get_scenario, make_device
 from repro.swopt.inshader import inshader_comparison
 from repro.workloads.catalog import scene_names
@@ -19,7 +20,11 @@ def run(scenes=None, device_name="orin"):
     out = {}
     for name in scenes:
         scenario = get_scenario(name)
-        cmp = inshader_comparison(scenario.stream, device)
+        # The ROP-based reference is the plain baseline draw — reuse the
+        # engine's memoised simulation instead of re-running the pipeline.
+        cmp = inshader_comparison(
+            scenario.stream, device,
+            baseline_draw=get_draw(name, "baseline", device_name))
         out[name] = {
             "rop": 1.0,
             "interlock": cmp["interlock_normalized"],

@@ -35,6 +35,11 @@ IR_MODES = ("auto", "frameir", "legacy")
 #: :mod:`repro.render.coherence`).
 COHERENCE_MODES = ("auto", "incremental", "off")
 
+#: Valid values of the software-path ``swmodel`` knob (FrameIR-backed
+#: CUDA warp/multipass models vs the retained fragment-sort oracles; see
+#: :mod:`repro.swrender.warp_model` and :mod:`repro.swopt.multipass`).
+SWMODEL_MODES = ("auto", "frameir", "legacy")
+
 #: Valid values of the pipeline flush ``engine`` knob (batched flush
 #: plan vs the scalar per-flush oracle; see
 #: :class:`repro.hwmodel.pipeline.GraphicsPipeline`).
@@ -73,6 +78,12 @@ ENV_KNOBS = {
         help="process-wide default of the cross-frame coherence knob "
              "(bit-identical modes; 'off' is the full-recompute oracle)",
         consumed_by=("repro.render.coherence.resolve_coherence",)),
+    "REPRO_SWMODEL": EnvKnob(
+        "REPRO_SWMODEL", default="auto", choices=SWMODEL_MODES,
+        help="process-wide default of the software-path model knob "
+             "(bit-identical modes; 'legacy' is the fragment-sort oracle "
+             "for the CUDA warp/multipass models)",
+        consumed_by=("repro.swrender.warp_model.resolve_swmodel",)),
     "REPRO_FAULTS": EnvKnob(
         "REPRO_FAULTS", default="", choices=None,
         help="seeded fault-injection plan installed at import time "
@@ -116,6 +127,7 @@ def env(name):
 MODE_KNOBS = {
     "ir": {"modes": IR_MODES, "oracle": "legacy"},
     "coherence": {"modes": COHERENCE_MODES, "oracle": "off"},
+    "swmodel": {"modes": SWMODEL_MODES, "oracle": "legacy"},
     # ``engine`` names two knob families (the pipeline flush engine and
     # the LRU replay engine); the declared set is their union and both
     # oracles answer to mode "scalar".
@@ -136,4 +148,8 @@ ORACLES = (
      "knob": "engine", "mode": "scalar"},
     {"symbol": "from_stream", "pair": "from_ir",
      "knob": "ir", "mode": "legacy"},
+    {"symbol": "_simulate_tile_warps_legacy", "pair": "_simulate_tile_warps_ir",
+     "knob": "swmodel", "mode": "legacy"},
+    {"symbol": "_multipass_workspace_legacy", "pair": "_multipass_workspace_ir",
+     "knob": "swmodel", "mode": "legacy"},
 )

@@ -97,7 +97,8 @@ def _assert_identical(a, b):
             "be comparing different work")
 
 
-def _suite_rasterize(quick, scene=None, repeat=None, ir=None, coherence=None):
+def _suite_rasterize(quick, scene=None, repeat=None, ir=None, coherence=None,
+                     swmodel=None):
     scene = scene or ("lego" if quick else "bench")
     repeat = repeat or (2 if quick else 5)
     _, camera, pre = _splats_for(scene)
@@ -131,7 +132,8 @@ def _suite_rasterize(quick, scene=None, repeat=None, ir=None, coherence=None):
     ]
 
 
-def _suite_reference(quick, scene=None, repeat=None, ir=None, coherence=None):
+def _suite_reference(quick, scene=None, repeat=None, ir=None, coherence=None,
+                     swmodel=None):
     from repro.render.reference import render_reference
 
     scene = scene or ("lego" if quick else "train")
@@ -163,7 +165,8 @@ def _assert_draws_identical(a, b):
             "would be comparing different work")
 
 
-def _suite_hw(quick, scene=None, repeat=None, ir=None, coherence=None):
+def _suite_hw(quick, scene=None, repeat=None, ir=None, coherence=None,
+              swmodel=None):
     from repro.core.vrpipe import variant_config
     from repro.hwmodel.pipeline import DrawWorkload, GraphicsPipeline
 
@@ -230,10 +233,10 @@ def _stage_breakdown(session, n_views):
 
 
 def _suite_trajectory(quick, scene=None, repeat=None, ir=None,
-                      coherence=None):
-    """End-to-end multi-frame trajectories, per hardware variant.
+                      coherence=None, swmodel=None):
+    """End-to-end multi-frame trajectories, per engine endpoint.
 
-    The headline suite of the hardware model: each benchmark renders a
+    The headline suite of the frame engines: each benchmark renders a
     whole ``RenderSession`` orbit — preprocess, rasterise, digest and
     simulate every frame — through one variant, cold, plus warm-CROP-cache
     rows (serial by contract) for the cache-carrying endpoints.  Rows
@@ -246,10 +249,18 @@ def _suite_trajectory(quick, scene=None, repeat=None, ir=None,
     warmup and every measured repeat, matching the production serving
     loop where a trajectory revisits viewpoints against warm state.
 
+    The software path rides along as ``cuda`` / ``cuda+et`` rows under
+    the ``swmodel`` engine knob: their ``cold`` rows pin the coherence
+    carrier *off* (every frame digests from scratch — the software
+    models' worst case), their ``warm`` rows pin it to ``incremental``
+    so cross-frame reuse of the rasterise/FrameIR/digest products shows
+    up as a separate measurement.
+
     Quick mode trades the variant sweep for *scenario* coverage: the
     ``lego`` orbit plus the sparse ``aerial`` and dense ``garden``
-    profiles, two variants each.  Rows for non-default scenes carry the
-    scene in their benchmark name so reports stay comparable row-by-row.
+    profiles, two hardware variants plus the ``cuda+et`` cold/warm pair
+    each.  Rows for non-default scenes carry the scene in their
+    benchmark name so reports stay comparable row-by-row.
     """
     from repro.engine.session import RenderSession
 
@@ -262,17 +273,19 @@ def _suite_trajectory(quick, scene=None, repeat=None, ir=None,
     cold_variants = ("baseline", "het+qm") if quick else (
         "baseline", "qm", "het", "het+qm")
     warm_variants = () if quick else ("baseline", "het+qm")
+    cuda_specs = ("cuda+et",) if quick else ("cuda", "cuda+et")
 
     results = []
     for scene_name in scenes:
+        prefix = ("trajectory" if scene_name == "lego"
+                  else f"trajectory/{scene_name}")
         for variant, warm in ([(v, False) for v in cold_variants]
                               + [(v, True) for v in warm_variants]):
             session = RenderSession(scene_name, backend=f"hw:{variant}",
                                     baseline=None, warm_crop_cache=warm,
-                                    ir=ir, coherence=coherence)
+                                    ir=ir, coherence=coherence,
+                                    swmodel=swmodel)
             mode = "warm" if warm else "cold"
-            prefix = ("trajectory" if scene_name == "lego"
-                      else f"trajectory/{scene_name}")
             timing = time_callable(
                 lambda s=session: s.run(n_views=n_views),
                 warmup=0 if quick else 1, repeat=repeat,
@@ -284,6 +297,22 @@ def _suite_trajectory(quick, scene=None, repeat=None, ir=None,
             }
             metrics.update(_stage_breakdown(session, n_views))
             results.append(BenchResult(timing, scene_name, metrics))
+        for spec in cuda_specs:
+            for mode, coh in (("cold", "off"), ("warm", "incremental")):
+                session = RenderSession(scene_name, backend=spec,
+                                        baseline=None, ir=ir, coherence=coh,
+                                        swmodel=swmodel)
+                timing = time_callable(
+                    lambda s=session: s.run(n_views=n_views),
+                    warmup=0 if quick else 1, repeat=repeat,
+                    name=f"{prefix}/{spec}:{mode}")
+                metrics = {
+                    "frames": n_views,
+                    "ms_per_frame": timing.median_ms / n_views,
+                    "frames_per_sec": timing.per_second(n_views),
+                }
+                metrics.update(_stage_breakdown(session, n_views))
+                results.append(BenchResult(timing, scene_name, metrics))
     return results
 
 
@@ -304,7 +333,8 @@ _SERVICE_KPI_KEYS = (
     "latency_p95_ms", "latency_p99_ms")
 
 
-def _suite_service(quick, scene=None, repeat=None, ir=None, coherence=None):
+def _suite_service(quick, scene=None, repeat=None, ir=None, coherence=None,
+                   swmodel=None):
     """The serving layer under synthetic load, fault-free and under chaos.
 
     Each row drives a fresh :class:`~repro.serve.service.RenderService`
@@ -363,8 +393,8 @@ def _suite_service(quick, scene=None, repeat=None, ir=None, coherence=None):
     return results
 
 
-#: Suite registry:
-#: name -> callable(quick, scene=None, repeat=None, ir=None, coherence=None).
+#: Suite registry: name -> callable(quick, scene=None, repeat=None,
+#: ir=None, coherence=None, swmodel=None).
 SUITES = {
     "rasterize": _suite_rasterize,
     "reference": _suite_reference,
@@ -375,15 +405,17 @@ SUITES = {
 
 
 def run_suite(name, quick=False, scene=None, repeat=None, ir=None,
-              coherence=None):
+              coherence=None, swmodel=None):
     """Run the suite registered under ``name`` and return a :class:`SuiteRun`.
 
     ``scene`` and ``repeat`` override the suite defaults (``repeat`` must
     be >= 1 when given); ``quick`` selects the CI-sized variant.  ``ir``
     selects the digestion engine the timed paths run under (see
-    :mod:`repro.render.frameir`) and ``coherence`` the cross-frame reuse
-    mode of session-based suites (see :mod:`repro.render.coherence`;
-    suites without cross-frame state accept and ignore it).
+    :mod:`repro.render.frameir`), ``coherence`` the cross-frame reuse
+    mode of session-based suites (see :mod:`repro.render.coherence`), and
+    ``swmodel`` the software-path model engine of the ``cuda`` rows (see
+    :mod:`repro.swrender.warp_model`; suites without the corresponding
+    state accept and ignore the knobs).
     """
     try:
         suite = SUITES[name]
@@ -393,4 +425,5 @@ def run_suite(name, quick=False, scene=None, repeat=None, ir=None,
     if repeat is not None and repeat < 1:
         raise ValueError(f"repeat must be >= 1, got {repeat}")
     return SuiteRun(name, quick, suite(quick, scene=scene, repeat=repeat,
-                                       ir=ir, coherence=coherence))
+                                       ir=ir, coherence=coherence,
+                                       swmodel=swmodel))

@@ -44,8 +44,14 @@ class InShaderModel:
     frag_shader_cycles_per_warp: float = 26.0
 
 
-def inshader_comparison(stream, config, model=None):
+def inshader_comparison(stream, config, model=None, baseline_draw=None):
     """Compare the three blending strategies on one fragment stream.
+
+    ``baseline_draw`` optionally supplies a precomputed baseline-variant
+    :class:`~repro.hwmodel.pipeline.DrawResult` for this stream (e.g. the
+    engine's memoised ``get_draw(scene, "baseline", ...)``), saving the
+    full pipeline re-simulation — it must be the same computation as the
+    inline draw: ``config.variant(enable_het=False, enable_qm=False)``.
 
     Returns a dict with absolute cycles and times normalised to the
     ROP-based path::
@@ -58,8 +64,11 @@ def inshader_comparison(stream, config, model=None):
             f"stream must be a FragmentStream, got {type(stream).__name__}")
     model = model or InShaderModel()
 
-    baseline_cfg = config.variant(enable_het=False, enable_qm=False)
-    rop_cycles = GraphicsPipeline(baseline_cfg).draw(stream).cycles
+    if baseline_draw is not None:
+        rop_cycles = baseline_draw.cycles
+    else:
+        baseline_cfg = config.variant(enable_het=False, enable_qm=False)
+        rop_cycles = GraphicsPipeline(baseline_cfg).draw(stream).cycles
 
     quads = stream.quad_table(config.termination_alpha)
     n_quads = len(quads)

@@ -15,15 +15,17 @@ computes the same math).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.gaussians.camera import Camera
 from repro.gaussians.gaussian import GaussianCloud
 from repro.gaussians.preprocess import preprocess
 from repro.render.fragstream import DEFAULT_TERMINATION_ALPHA
+from repro.render.frameir import resolve_ir
 from repro.render.splat_raster import rasterize_splats
 from repro.swrender.tiling import TileAssignment, assign_tiles
-from repro.swrender.warp_model import simulate_tile_warps
+from repro.swrender.warp_model import resolve_swmodel, simulate_tile_warps
 
 
 @dataclass
@@ -93,15 +95,43 @@ class CudaRenderTiming:
 
 
 class CudaRenderResult:
-    """Timing + functional output of the CUDA-style renderer."""
+    """Timing + functional output of the CUDA-style renderer.
 
-    def __init__(self, timing, image, alpha, stream, warp_exec, tiling):
+    The blended ``image``/``alpha`` maps are materialised lazily on first
+    access (mirroring :class:`~repro.core.vrpipe.HWRenderResult`): the
+    colour pass contributes nothing to the modelled kernel times, so
+    trajectory runs that only consume the numeric records never pay for
+    per-frame blending.  ``wall_ms`` carries the renderer's measured
+    wall-clock stage breakdown (tiling / digest), which the trajectory
+    benchmark aggregates into its per-stage report.
+    """
+
+    def __init__(self, timing, stream, warp_exec, tiling,
+                 early_term, threshold, wall_ms=None):
         self.timing = timing
-        self.image = image
-        self.alpha = alpha
         self.stream = stream
         self.warp_exec = warp_exec
         self.tiling = tiling
+        self.early_term = bool(early_term)
+        self.threshold = float(threshold)
+        self.wall_ms = dict(wall_ms or {})
+        self._image = None
+        self._alpha = None
+
+    def _blend(self):
+        if self._image is None:
+            self._image, self._alpha = self.stream.blend_image(
+                early_term=self.early_term, threshold=self.threshold)
+
+    @property
+    def image(self):
+        self._blend()
+        return self._image
+
+    @property
+    def alpha(self):
+        self._blend()
+        return self._alpha
 
 
 class CudaRenderer:
@@ -117,14 +147,21 @@ class CudaRenderer:
     early_term:
         Whether the rasterise kernel applies early termination (the paper's
         end-to-end comparison enables it for the software path).
+    ir / swmodel:
+        Digestion and software-model engine knobs, validated eagerly;
+        ``None`` stays ``None`` so the ``$REPRO_IR`` / ``$REPRO_SWMODEL``
+        process defaults remain best-effort at render time.
     """
 
     def __init__(self, kernel_model=None, frequency_hz=612e6, early_term=True,
-                 threshold=DEFAULT_TERMINATION_ALPHA):
+                 threshold=DEFAULT_TERMINATION_ALPHA, ir=None, swmodel=None):
         self.kernel_model = kernel_model or SWKernelModel()
         self.frequency_hz = float(frequency_hz)
         self.early_term = bool(early_term)
         self.threshold = float(threshold)
+        self.ir = resolve_ir(ir) if ir is not None else None
+        self.swmodel = resolve_swmodel(swmodel) if swmodel is not None \
+            else None
 
     def render(self, cloud, camera):
         """Render a cloud and return a :class:`CudaRenderResult`."""
@@ -135,7 +172,8 @@ class CudaRenderer:
             raise TypeError(
                 f"camera must be a Camera, got {type(camera).__name__}")
         pre = preprocess(cloud, camera)
-        stream = rasterize_splats(pre.splats, camera.width, camera.height)
+        stream = rasterize_splats(pre.splats, camera.width, camera.height,
+                                  ir=self.ir)
         return self.render_stream(stream, pre)
 
     def render_stream(self, stream, pre=None):
@@ -143,12 +181,23 @@ class CudaRenderer:
 
         Tile duplication comes from ``pre`` when given; otherwise the
         stream's own :class:`~repro.render.splat_raster.TileBinning` is
-        consumed directly (no re-binning).
+        consumed directly (no re-binning).  The colour blend is deferred
+        (see :class:`CudaRenderResult`).
         """
         model = self.kernel_model
+        t0 = time.perf_counter()
+        # A coherence carrier that classified this stream just before the
+        # render stashes its pre-classification snapshot; prefer it so the
+        # classification cost lands in this frame's digest breakdown.
+        base_sub = stream.__dict__.pop("_substage_base", None)
+        if base_sub is None:
+            base_sub = dict(stream.substage_ms)
         tiling = _tiling_for(stream, pre)
         n_gaussians = stream.prim_colors.shape[0]
-        warp_exec = simulate_tile_warps(stream, self.threshold)
+        t1 = time.perf_counter()
+        warp_exec = simulate_tile_warps(stream, self.threshold,
+                                        swmodel=self.swmodel)
+        t2 = time.perf_counter()
 
         warp_rounds = (warp_exec.rounds_et if self.early_term
                        else warp_exec.rounds_no_et)
@@ -161,10 +210,18 @@ class CudaRenderer:
             raster_cycles=model.raster_cycles(warp_rounds, blend_ops),
             frequency_hz=self.frequency_hz,
         )
-        image, alpha = stream.blend_image(
-            early_term=self.early_term, threshold=self.threshold)
-        return CudaRenderResult(timing, image, alpha, stream, warp_exec,
-                                tiling)
+        wall_ms = {"tiling": (t1 - t0) * 1e3, "digest": (t2 - t1) * 1e3}
+        # Named digestion substages, as the *delta* the warp model added
+        # to the stream's accumulators (same bookkeeping as the hardware
+        # renderer): a re-render of an already-digested stream reports
+        # only its own marginal work.
+        for name, ms in stream.substage_ms.items():
+            delta = ms - base_sub.get(name, 0.0)
+            if delta > 0.0:
+                wall_ms[f"digest:{name}"] = delta
+        return CudaRenderResult(timing, stream, warp_exec, tiling,
+                                early_term=self.early_term,
+                                threshold=self.threshold, wall_ms=wall_ms)
 
 
 def _tiling_for(stream, pre):

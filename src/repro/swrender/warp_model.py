@@ -12,12 +12,29 @@ stream:
   (the CUDA rasterise-time driver, Figure 8);
 * the fraction of executed thread-slots that perform blending
   (Figure 9's "threads performing blending in a warp").
+
+Two engines, selected by the ``swmodel`` knob (``"auto"`` / ``"frameir"``
+/ ``"legacy"``, process default ``$REPRO_SWMODEL``):
+
+* ``_simulate_tile_warps_ir`` reads the (prim, tile) round structure
+  straight off the stream's :class:`~repro.render.frameir.FrameIR` group
+  ranges — the chunklet pass already enumerated the unique (prim, tile)
+  pairs in emission order, so no fragment-level ``np.unique`` sort exists
+  on this path — and resolves each pixel's exit round with a single
+  fragment lookup through digestion's cached pixel-sorted arrival chain;
+* ``_simulate_tile_warps_legacy`` is the retained fragment-sort oracle
+  (the original ``np.unique`` over (tile, prim) keys), kept bit-exact for
+  the equivalence tests; its per-pixel reductions run over the same
+  cached chain via ``reduceat`` instead of the old ``np.minimum.at`` /
+  ``np.maximum.at`` scatters.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro import knobs
+from repro.knobs import SWMODEL_MODES
 from repro.render.fragstream import (
     DEFAULT_TERMINATION_ALPHA,
     FragmentStream,
@@ -27,6 +44,17 @@ TILE_SIZE = 16
 WARP_ROWS = 2           # a warp covers a 16x2-pixel strip of the tile
 WARPS_PER_TILE = TILE_SIZE // WARP_ROWS
 WARP_THREADS = 32
+
+
+def resolve_swmodel(swmodel=None):
+    """Normalise a ``swmodel`` knob value, defaulting to ``$REPRO_SWMODEL``
+    / auto."""
+    if swmodel is None:
+        swmodel = knobs.env("REPRO_SWMODEL")
+    if swmodel not in SWMODEL_MODES:
+        raise ValueError(
+            f"unknown swmodel mode {swmodel!r}; choose from {SWMODEL_MODES}")
+    return swmodel
 
 
 class WarpExecution:
@@ -65,19 +93,94 @@ class WarpExecution:
         return ops / slots
 
 
-def simulate_tile_warps(stream, threshold=DEFAULT_TERMINATION_ALPHA):
-    """Run the lockstep model over a fragment stream.
+def _warp_round_totals(done_pixels, done_rounds, rounds_per_tile,
+                       width, height, tiles_x, tiles_y):
+    """Per-mode round totals from the pixel exit structure.
 
-    The stream's primitive order is the global depth order, which is also
-    each tile's processing order (the CUDA renderer sorts by (tile | depth)
-    keys, yielding per-tile depth-sorted lists).
+    ``done_pixels`` / ``done_rounds`` name the pixels that terminate and
+    the round each one exits after; every other pixel runs its tile's
+    full Gaussian list.  The ET total is the per-warp max over each
+    16x2-pixel strip, taken as a blocked reshape of the padded screen —
+    the pad rows/columns hold 0, below any real round, so warps that
+    straddle the image edge reduce over their real pixels exactly as the
+    old ``np.maximum.at`` scatter (zero-initialised accumulator) did.
     """
-    if not isinstance(stream, FragmentStream):
-        raise TypeError(
-            f"stream must be a FragmentStream, got {type(stream).__name__}")
-    if len(stream) == 0:
-        return WarpExecution(0, 0, 0, 0)
+    rounds_no_et = WARPS_PER_TILE * int(rounds_per_tile.sum())
+    done2d = np.zeros((tiles_y * TILE_SIZE, tiles_x * TILE_SIZE),
+                      dtype=np.int64)
+    full = np.repeat(np.repeat(rounds_per_tile.reshape(tiles_y, tiles_x),
+                               TILE_SIZE, axis=0), TILE_SIZE, axis=1)
+    done2d[:height, :width] = full[:height, :width]
+    done2d[done_pixels // width, done_pixels % width] = done_rounds
+    warp_max = done2d.reshape(tiles_y, WARPS_PER_TILE, WARP_ROWS,
+                              tiles_x, TILE_SIZE).max(axis=(2, 4))
+    return rounds_no_et, int(warp_max.sum())
 
+
+def _simulate_tile_warps_ir(stream, threshold):
+    """Round totals off the FrameIR group ranges (no fragment sort).
+
+    The IR's (prim, tile) groups *are* the legacy model's unique
+    (tile, prim) pairs — every group holds at least one fragment and
+    every fragment belongs to one — listed in (prim, tile) order, so the
+    per-tile round structure is a bincount plus one tiny stable sort of
+    the group list (never the fragments).  A pixel's exit round is the
+    round of its first already-terminated fragment; within a pixel the
+    fragments share one tile and arrive prim-ascending, so rounds are
+    strictly increasing and the cached per-pixel termination rank from
+    digestion names that fragment directly — one gather per terminated
+    pixel instead of a full-stream ``minimum.at``.
+    """
+    width, height = stream.width, stream.height
+    tiles_x = -(-width // TILE_SIZE)
+    tiles_y = -(-height // TILE_SIZE)
+    n_tiles = tiles_x * tiles_y
+
+    groups = stream.frameir.quads().groups
+    g_tile = groups.tile
+    n_groups = len(groups)
+    rounds_per_tile = np.bincount(g_tile, minlength=n_tiles)
+
+    # Round of each group within its tile: groups arrive (prim, tile)-
+    # sorted, so a stable sort by tile keeps each tile's groups in
+    # ascending-prim order — the tile's depth-ordered Gaussian list.
+    t_order = np.argsort(g_tile, kind="stable")
+    tile_starts = np.zeros(n_tiles + 1, dtype=np.int64)
+    np.cumsum(rounds_per_tile, out=tile_starts[1:])
+    round_of_group = np.empty(n_groups, dtype=np.int64)
+    round_of_group[t_order] = (np.arange(n_groups, dtype=np.int64)
+                               - tile_starts[g_tile[t_order]])
+
+    _local, term_rank, order, pix_sorted = \
+        stream._pixel_ranks_sorted(threshold)
+    starts = stream._pixel_starts(pix_sorted)
+    sentinel = np.int64(len(stream) + 1)
+    done_pixels = np.flatnonzero(term_rank != sentinel)
+    seg_pix = pix_sorted[starts]
+    seg = np.searchsorted(seg_pix, done_pixels)
+    slot = starts[seg] + term_rank[done_pixels]
+    prim = stream.prim_ids[order[slot]].astype(np.int64)
+    tile = (((done_pixels // width) // TILE_SIZE) * tiles_x
+            + (done_pixels % width) // TILE_SIZE)
+    # g_key is strictly increasing (groups are (prim, tile)-sorted), and
+    # every (prim, tile) seen by a fragment has a group, so the lookup is
+    # an exact searchsorted hit.
+    g_key = groups.prim.astype(np.int64) * n_tiles + g_tile
+    g_idx = np.searchsorted(g_key, prim * n_tiles + tile)
+    done_rounds = round_of_group[g_idx]
+    return _warp_round_totals(done_pixels, done_rounds, rounds_per_tile,
+                              width, height, tiles_x, tiles_y)
+
+
+def _simulate_tile_warps_legacy(stream, threshold):
+    """The retained fragment-sort oracle: round structure via a full
+    ``np.unique`` over (tile, prim) fragment keys.
+
+    The per-pixel exit reduction runs over digestion's cached
+    pixel-sorted chain with one ``reduceat`` (identical minima to the
+    old ``np.minimum.at`` scatter, far faster), and the per-warp max
+    shares :func:`_warp_round_totals` with the IR engine.
+    """
     width, height = stream.width, stream.height
     tiles_x = -(-width // TILE_SIZE)
     tiles_y = -(-height // TILE_SIZE)
@@ -100,34 +203,53 @@ def simulate_tile_warps(stream, threshold=DEFAULT_TERMINATION_ALPHA):
     rounds_per_tile = counts  # Gaussians assigned to each tile
 
     # Pixel "done" round: the round of the first fragment arriving already
-    # terminated; pixels that never terminate run the whole tile list.
-    pix = stream.pixel_ids
-    done_round = np.full(width * height, -1, dtype=np.int64)
-    tile_of_pixel = ((np.arange(width * height) // width) // TILE_SIZE * tiles_x
-                     + (np.arange(width * height) % width) // TILE_SIZE)
-    terminated_arrival = stream.arrival_alpha >= threshold
-    if terminated_arrival.any():
-        sentinel = np.iinfo(np.int64).max
-        first_done = np.full(width * height, sentinel, dtype=np.int64)
-        np.minimum.at(first_done, pix[terminated_arrival],
-                      frag_round[terminated_arrival])
-        has_done = first_done != sentinel
-        done_round[has_done] = first_done[has_done]
-    never = done_round < 0
-    done_round[never] = rounds_per_tile[tile_of_pixel[never]]
+    # terminated, as a segment minimum over the pixel-sorted domain.
+    stream._ensure_arrival_sorted()
+    order = stream._pixel_order
+    pix_sorted = stream._cache["pix_sorted"]
+    starts = stream._pixel_starts(pix_sorted)
+    sentinel = np.iinfo(np.int64).max
+    term_sorted = stream._cache["arrival_sorted"] >= threshold
+    masked = np.where(term_sorted, frag_round[order], sentinel)
+    seg_min = np.minimum.reduceat(masked, starts)
+    has_done = seg_min != sentinel
+    done_pixels = pix_sorted[starts][has_done]
+    done_rounds = seg_min[has_done]
+    return _warp_round_totals(done_pixels, done_rounds, rounds_per_tile,
+                              width, height, tiles_x, tiles_y)
 
-    # Warp rounds: max done-round over the warp's 32 pixels (ET), or the
-    # tile's full list length (no ET).
-    ys = np.arange(width * height) // width
-    warp_of_pixel = tile_of_pixel * WARPS_PER_TILE + (ys % TILE_SIZE) // WARP_ROWS
-    n_warps = n_tiles * WARPS_PER_TILE
-    warp_rounds_et = np.zeros(n_warps, dtype=np.int64)
-    np.maximum.at(warp_rounds_et, warp_of_pixel, done_round)
-    warp_rounds_no_et = np.repeat(rounds_per_tile, WARPS_PER_TILE)
 
-    # Warps execute only if their tile has work; empty tiles cost nothing.
-    rounds_no_et = int(warp_rounds_no_et.sum())
-    rounds_et = int(warp_rounds_et.sum())
+def simulate_tile_warps(stream, threshold=DEFAULT_TERMINATION_ALPHA,
+                        swmodel=None):
+    """Run the lockstep model over a fragment stream.
+
+    The stream's primitive order is the global depth order, which is also
+    each tile's processing order (the CUDA renderer sorts by (tile | depth)
+    keys, yielding per-tile depth-sorted lists).  ``swmodel`` selects the
+    engine: ``"auto"`` reads the FrameIR whenever the stream carries one,
+    ``"legacy"`` forces the fragment-sort oracle, ``"frameir"`` requires
+    the IR.  Both engines are bit-exact.
+    """
+    if not isinstance(stream, FragmentStream):
+        raise TypeError(
+            f"stream must be a FragmentStream, got {type(stream).__name__}")
+    explicit = swmodel is not None
+    swmodel = resolve_swmodel(swmodel)
+    if swmodel == "frameir" and stream.frameir is None and explicit:
+        # A $REPRO_SWMODEL=frameir *process default* stays best-effort
+        # (bare streams fall back to the oracle, same contract as the ir
+        # knob); only a by-name request hardens into a requirement.
+        raise ValueError(
+            "swmodel='frameir' requires a stream carrying a FrameIR; "
+            "rasterize with ir='auto'/'frameir' or use swmodel='auto'")
+    if len(stream) == 0:
+        return WarpExecution(0, 0, 0, 0)
+
+    if swmodel != "legacy" and stream.frameir is not None:
+        rounds_no_et, rounds_et = _simulate_tile_warps_ir(stream, threshold)
+    else:
+        rounds_no_et, rounds_et = _simulate_tile_warps_legacy(
+            stream, threshold)
 
     blend_no_et = int(stream.unpruned.sum())
     blend_et = int(stream.et_survivor_mask(threshold).sum())

@@ -133,8 +133,29 @@ class TestLadder:
                                                         clean_aggregates):
         result = chaos_run("digest:raise", coherence="incremental")
         self._assert_healed(result, clean_aggregates, "ir=legacy", "digest")
-        # Every frame climbed primary -> retry -> coherence=off first.
-        assert len(result.incidents()) == 3 * N_VIEWS
+        # Every frame climbed every shallower rung first (the hardware
+        # digestion still reads the FrameIR on the swmodel=legacy rung).
+        rungs_climbed = RenderSession.LADDER.index("ir=legacy")
+        assert len(result.incidents()) == rungs_climbed * N_VIEWS
+
+    def test_cuda_digest_fault_heals_at_legacy_swmodel(self):
+        """The software models heal one rung *earlier* than the hardware
+        path: swmodel=legacy sidesteps FrameIR digestion entirely while
+        the stream (and the session's ir knob) stay untouched — and the
+        healed trajectory matches the fault-free oracle bit for bit."""
+        kwargs = dict(backend="cuda+et", baseline=None)
+        with faults.active(None):
+            clean = RenderSession(SCENE, **kwargs).run(n_views=N_VIEWS)
+        session = RenderSession(SCENE, coherence="incremental", **kwargs)
+        with faults.active("digest:raise"):
+            chaos = session.run(n_views=N_VIEWS)
+        assert chaos.aggregates() == clean.aggregates()
+        incidents = chaos.incidents()
+        assert incidents
+        assert {inc["recovered_by"] for inc in incidents} == {"swmodel=legacy"}
+        assert {inc["point"] for inc in incidents} == {"digest"}
+        rungs_climbed = RenderSession.LADDER.index("swmodel=legacy")
+        assert len(incidents) == rungs_climbed * N_VIEWS
 
     def test_coherence_fault_heals_with_carrier_off(self, clean_aggregates):
         result = chaos_run("coherence.verify:raise", coherence="incremental")

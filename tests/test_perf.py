@@ -183,7 +183,7 @@ class TestCheckMode:
         from repro.perf.timer import TimingResult
 
         def fake_suite(quick, scene=None, repeat=None, ir=None,
-                       coherence=None):
+                       coherence=None, swmodel=None):
             return [BenchResult(TimingResult("fake/x", [0.2], 0), "s", {})]
 
         monkeypatch.setitem(suite_mod.SUITES, "rasterize", fake_suite)
@@ -194,7 +194,7 @@ class TestCheckMode:
                          "--check"]) == 0
 
         def slow_suite(quick, scene=None, repeat=None, ir=None,
-                       coherence=None):
+                       coherence=None, swmodel=None):
             return [BenchResult(TimingResult("fake/x", [2.0], 0), "s", {})]
 
         monkeypatch.setitem(suite_mod.SUITES, "rasterize", slow_suite)
@@ -224,16 +224,22 @@ class TestTrajectorySuite:
         run = run_suite("trajectory", quick=True)
         names = [r.name for r in run]
         # Quick mode trades the variant sweep for scenario coverage: the
-        # lego orbit plus the sparse aerial / dense garden profiles.
+        # lego orbit plus the sparse aerial / dense garden profiles, two
+        # hardware variants plus the software path's cold/warm pair each.
         assert names == [
             "trajectory/baseline:cold", "trajectory/het+qm:cold",
+            "trajectory/cuda+et:cold", "trajectory/cuda+et:warm",
             "trajectory/aerial/baseline:cold",
             "trajectory/aerial/het+qm:cold",
+            "trajectory/aerial/cuda+et:cold",
+            "trajectory/aerial/cuda+et:warm",
             "trajectory/garden/baseline:cold",
             "trajectory/garden/het+qm:cold",
+            "trajectory/garden/cuda+et:cold",
+            "trajectory/garden/cuda+et:warm",
         ]
-        assert [r.scene for r in run] == ["lego"] * 2 + ["aerial"] * 2 + \
-            ["garden"] * 2
+        assert [r.scene for r in run] == ["lego"] * 4 + ["aerial"] * 4 + \
+            ["garden"] * 4
         for result in run:
             assert result.metrics["frames"] == 2
             assert result.metrics["ms_per_frame"] > 0
@@ -246,4 +252,5 @@ class TestTrajectorySuite:
     def test_scene_override_limits_rows(self):
         run = run_suite("trajectory", quick=True, scene="lego")
         assert [r.name for r in run] == [
-            "trajectory/baseline:cold", "trajectory/het+qm:cold"]
+            "trajectory/baseline:cold", "trajectory/het+qm:cold",
+            "trajectory/cuda+et:cold", "trajectory/cuda+et:warm"]

@@ -1,0 +1,256 @@
+"""Fuzz/property tests: FrameIR-native software models vs the sort oracle.
+
+The CUDA warp model (:mod:`repro.swrender.warp_model`) and the multi-pass
+model (:mod:`repro.swopt.multipass`) each carry two engines behind the
+``swmodel`` knob: the FrameIR-native path reads the (prim, tile) group
+ranges / quad table plus digestion's cached pixel-sorted arrival chain,
+while ``swmodel="legacy"`` is the retained fragment-sort oracle.  Both
+must agree **bit for bit** on every observable: the
+:class:`~repro.swrender.warp_model.WarpExecution` round and blend counts,
+every :class:`~repro.swopt.multipass.MultipassResult` cycle (per batch,
+per stencil update, total) and blended-fragment count, the sweep speedup
+maps, and the :class:`~repro.swrender.tiling.TileAssignment` pair counts
+of end-to-end renders.  Random splat scenes plus the library's five
+digestion regimes — empty, single-pixel, max_fragments-clamped,
+HET-terminated, warm handoff — pin the equivalence the same way
+``test_frameir.py`` de-risked the digestion engines.
+"""
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.gaussians.camera import Camera
+from repro.gaussians.gaussian import GaussianCloud
+from repro.gaussians.preprocess import preprocess
+from repro.gaussians.projection import project_gaussians
+from repro.render.frameir import FrameIR
+from repro.render.splat_raster import rasterize_splats
+from repro.swopt.multipass import multipass_sweep, run_multipass
+from repro.swrender.renderer import CudaRenderer
+from repro.swrender.warp_model import resolve_swmodel, simulate_tile_warps
+
+PASS_COUNTS = (1, 2, 5, 7)
+THRESHOLDS = (0.996, 0.9)
+
+
+def fuzz_seed(tag, salt=0):
+    """Process-independent fuzz seed (``hash()`` varies per interpreter)."""
+    return zlib.crc32(f"{tag}:{salt}".encode()) & 0x7FFFFFFF
+
+
+def random_cloud(rng, n, spread=1.1, scale_low=0.004, scale_high=0.16,
+                 opacity_low=0.05, opacity_high=1.0):
+    quats = rng.normal(size=(n, 4))
+    quats /= np.linalg.norm(quats, axis=1, keepdims=True)
+    scales = np.exp(rng.uniform(np.log(scale_low), np.log(scale_high),
+                                size=(n, 3)))
+    return GaussianCloud(
+        positions=rng.uniform(-spread, spread, size=(n, 3)) * [1, 1, 0.6],
+        scales=scales, quaternions=quats,
+        opacities=rng.uniform(opacity_low, opacity_high, n),
+        sh=np.zeros((n, 1, 3)))
+
+
+def camera(width=112, height=96):
+    return Camera.look_at(eye=(0, 0.1, -2.1), target=(0, 0, 0),
+                          width=width, height=height)
+
+
+def assert_warps_identical(a, b):
+    assert a.rounds_no_et == b.rounds_no_et
+    assert a.rounds_et == b.rounds_et
+    assert a.blend_ops_no_et == b.blend_ops_no_et
+    assert a.blend_ops_et == b.blend_ops_et
+
+
+def assert_multipass_identical(a, b):
+    assert a.n_passes == b.n_passes
+    assert a.total_cycles == b.total_cycles
+    assert a.batch_cycles == b.batch_cycles
+    assert a.stencil_cycles == b.stencil_cycles
+    assert a.fragments_blended == b.fragments_blended
+
+
+def assert_stream_parity(stream):
+    """Both engines agree exactly on every model output of one stream."""
+    for threshold in THRESHOLDS:
+        assert_warps_identical(
+            simulate_tile_warps(stream, threshold, swmodel="frameir"),
+            simulate_tile_warps(stream, threshold, swmodel="legacy"))
+    for n in PASS_COUNTS:
+        assert_multipass_identical(
+            run_multipass(stream, n, swmodel="frameir"),
+            run_multipass(stream, n, swmodel="legacy"))
+    assert (multipass_sweep(stream, PASS_COUNTS, swmodel="frameir")
+            == multipass_sweep(stream, PASS_COUNTS, swmodel="legacy"))
+
+
+class TestSwmodelFuzz:
+    def test_random_scenes_exact(self):
+        rng = np.random.default_rng(fuzz_seed("swmodel"))
+        for trial in range(6):
+            n = int(rng.integers(20, 200))
+            cloud = random_cloud(rng, n, opacity_low=0.3)
+            cam = camera()
+            pre = preprocess(cloud, cam)
+            stream = rasterize_splats(pre.splats, cam.width, cam.height,
+                                      ir="frameir")
+            if len(stream) == 0:
+                continue
+            assert_stream_parity(stream)
+
+
+class TestSwmodelRegimes:
+    """The five stream regimes of the digestion oracle contract."""
+
+    def test_empty_stream(self):
+        cam = camera()
+        splats = project_gaussians(
+            random_cloud(np.random.default_rng(0), 4), cam).subset(
+                np.array([], dtype=int))
+        stream = rasterize_splats(splats, cam.width, cam.height,
+                                  ir="frameir")
+        assert len(stream) == 0
+        assert isinstance(stream.frameir, FrameIR)
+        for swmodel in ("frameir", "legacy"):
+            warp = simulate_tile_warps(stream, swmodel=swmodel)
+            assert (warp.rounds_no_et, warp.rounds_et,
+                    warp.blend_ops_no_et, warp.blend_ops_et) == (0, 0, 0, 0)
+            res = run_multipass(stream, 3, swmodel=swmodel)
+            assert res.total_cycles == 0.0
+            assert res.fragments_blended == 0
+
+    def test_single_pixel_splats(self):
+        """Subpixel splats: single-fragment quads and one-round tiles."""
+        rng = np.random.default_rng(fuzz_seed("sw-single-pixel"))
+        cloud = random_cloud(rng, 90, scale_low=0.0015, scale_high=0.003,
+                             opacity_low=0.6)
+        cam = camera()
+        pre = preprocess(cloud, cam)
+        stream = rasterize_splats(pre.splats, cam.width, cam.height,
+                                  ir="frameir")
+        assert len(stream) > 0
+        assert_stream_parity(stream)
+
+    def test_max_fragments_clamped(self):
+        """At the max_fragments guard boundary the IR still rides along
+        and both software models stay exact."""
+        rng = np.random.default_rng(fuzz_seed("sw-clamp"))
+        cloud = random_cloud(rng, 40, scale_low=0.05, scale_high=0.4)
+        cam = camera()
+        pre = preprocess(cloud, cam)
+        total = len(rasterize_splats(pre.splats, cam.width, cam.height))
+        assert total > 0
+        stream = rasterize_splats(pre.splats, cam.width, cam.height,
+                                  max_fragments=total, ir="frameir")
+        assert isinstance(stream.frameir, FrameIR)
+        assert_stream_parity(stream)
+
+    def test_het_terminated(self, deep_stream):
+        """Depth-stacked opaque layers saturate pixels: the warp model's
+        per-pixel exit rounds are non-trivial and must match exactly."""
+        warp = simulate_tile_warps(deep_stream, swmodel="frameir")
+        assert warp.rounds_et < warp.rounds_no_et
+        assert_stream_parity(deep_stream)
+
+    def test_warm_handoff(self):
+        """Whichever engine digests first (warming the stream's shared
+        pixel-sort/arrival caches), the other must reproduce it exactly."""
+        rng = np.random.default_rng(fuzz_seed("sw-warm"))
+        cloud = random_cloud(rng, 80, opacity_low=0.55)
+        cam = camera()
+        pre = preprocess(cloud, cam)
+
+        stream_a = rasterize_splats(pre.splats, cam.width, cam.height,
+                                    ir="frameir")
+        first_a = simulate_tile_warps(stream_a, swmodel="frameir")
+        second_a = simulate_tile_warps(stream_a, swmodel="legacy")
+        assert_warps_identical(first_a, second_a)
+
+        stream_b = rasterize_splats(pre.splats, cam.width, cam.height,
+                                    ir="frameir")
+        first_b = simulate_tile_warps(stream_b, swmodel="legacy")
+        second_b = simulate_tile_warps(stream_b, swmodel="frameir")
+        assert_warps_identical(second_b, first_b)
+        assert_warps_identical(first_a, first_b)
+
+        mp_a = run_multipass(stream_a, 4, swmodel="frameir")
+        mp_b = run_multipass(stream_b, 4, swmodel="legacy")
+        assert_multipass_identical(mp_a, mp_b)
+
+
+class TestCudaRendererParity:
+    def test_end_to_end_exact(self):
+        """Whole CudaRenderer frames agree across engines: kernel cycles,
+        warp counts, tile-duplication pair counts, and the (lazy) blended
+        image."""
+        rng = np.random.default_rng(fuzz_seed("sw-e2e"))
+        cloud = random_cloud(rng, 120, opacity_low=0.4)
+        cam = camera()
+        res_ir = CudaRenderer(swmodel="frameir").render(cloud, cam)
+        res_legacy = CudaRenderer(swmodel="legacy").render(cloud, cam)
+        assert_warps_identical(res_ir.warp_exec, res_legacy.warp_exec)
+        assert res_ir.timing.total_cycles == res_legacy.timing.total_cycles
+        assert (res_ir.timing.breakdown_ms()
+                == res_legacy.timing.breakdown_ms())
+        np.testing.assert_array_equal(res_ir.tiling.pairs_per_splat,
+                                      res_legacy.tiling.pairs_per_splat)
+        assert res_ir.tiling.n_pairs == res_legacy.tiling.n_pairs
+        # The blend is deferred until the image is actually read.
+        assert res_ir._image is None
+        np.testing.assert_array_equal(res_ir.image, res_legacy.image)
+        np.testing.assert_array_equal(res_ir.alpha, res_legacy.alpha)
+        assert res_ir._image is not None
+
+
+class TestSwmodelKnob:
+    def test_resolve_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SWMODEL", raising=False)
+        assert resolve_swmodel() == "auto"
+        monkeypatch.setenv("REPRO_SWMODEL", "legacy")
+        assert resolve_swmodel() == "legacy"
+        assert resolve_swmodel("frameir") == "frameir"
+        with pytest.raises(ValueError, match="swmodel mode"):
+            resolve_swmodel("warp")
+
+    def test_frameir_mode_requires_ir(self):
+        rng = np.random.default_rng(3)
+        cloud = random_cloud(rng, 20, opacity_low=0.5)
+        cam = camera()
+        pre = preprocess(cloud, cam)
+        bare = rasterize_splats(pre.splats, cam.width, cam.height,
+                                ir="legacy")
+        assert bare.frameir is None
+        if len(bare):
+            with pytest.raises(ValueError, match="frameir"):
+                simulate_tile_warps(bare, swmodel="frameir")
+            with pytest.raises(ValueError, match="frameir"):
+                run_multipass(bare, 2, swmodel="frameir")
+            # auto falls back to the oracle on bare streams.
+            assert_warps_identical(
+                simulate_tile_warps(bare, swmodel="auto"),
+                simulate_tile_warps(bare, swmodel="legacy"))
+
+    def test_env_frameir_default_stays_best_effort(self, monkeypatch):
+        """A ``$REPRO_SWMODEL=frameir`` process default must not harden
+        into a by-name requirement: bare (legacy-rasterised) streams keep
+        digesting through the oracle fallback."""
+        monkeypatch.setenv("REPRO_SWMODEL", "frameir")
+        rng = np.random.default_rng(9)
+        cloud = random_cloud(rng, 30, opacity_low=0.5)
+        cam = camera()
+        pre = preprocess(cloud, cam)
+        bare = rasterize_splats(pre.splats, cam.width, cam.height,
+                                ir="legacy")
+        assert bare.frameir is None
+        warp = simulate_tile_warps(bare)
+        assert_warps_identical(warp, simulate_tile_warps(bare,
+                                                         swmodel="legacy"))
+        assert_multipass_identical(run_multipass(bare, 3),
+                                   run_multipass(bare, 3, swmodel="legacy"))
+
+    def test_renderer_validates_eagerly(self):
+        with pytest.raises(ValueError, match="swmodel mode"):
+            CudaRenderer(swmodel="warp")
